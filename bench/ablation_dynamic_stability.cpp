@@ -1,0 +1,127 @@
+// Ablation for the paper's choice of a *dynamic* tree algorithm (§III-D:
+// "when a group member leaves, the branch leading to the leaving group
+// member will be pruned and the rest of the tree is intact"; the m-router
+// must physically install every tree change with TREE/BRANCH packets, so
+// tree churn is control-plane cost).
+//
+// Over random join/leave sequences we compare incremental DCDM against
+// rebuilding the near-optimal KMB tree from scratch at every membership
+// event, measuring both tree cost (what the paper's Fig. 7 reports) and
+// *churn*: how many tree edges change per event, i.e. how much installed
+// routing state every change invalidates.
+#include <algorithm>
+#include <iostream>
+#include <set>
+
+#include "core/dcdm.hpp"
+#include "graph/steiner.hpp"
+#include "topo/waxman.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace scmp;
+
+using EdgeSet = std::set<std::pair<graph::NodeId, graph::NodeId>>;
+
+EdgeSet edge_set(const graph::MulticastTree& tree) {
+  EdgeSet out;
+  for (const auto& [child, parent] : tree.edges())
+    out.insert(std::minmax(child, parent));
+  return out;
+}
+
+int churn(const EdgeSet& before, const EdgeSet& after) {
+  int changed = 0;
+  for (const auto& e : before)
+    if (!after.contains(e)) ++changed;
+  for (const auto& e : after)
+    if (!before.contains(e)) ++changed;
+  return changed;
+}
+
+struct Metrics {
+  RunningStats cost;       ///< tree cost sampled after every event
+  RunningStats event_churn;  ///< edges changed per membership event
+};
+
+}  // namespace
+
+int main() {
+  constexpr int kSeeds = 5;
+  constexpr int kEvents = 120;
+  std::cout << "Ablation: dynamic tree stability — incremental DCDM vs "
+               "rebuilding KMB per membership event\n(Waxman n=100, "
+            << kEvents << " join/leave events, " << kSeeds << " seeds)\n\n";
+
+  Metrics dcdm_tight, dcdm_loose, kmb_rebuild;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    Rng trng(seed * 1000);
+    topo::WaxmanConfig cfg;
+    cfg.num_nodes = 100;
+    cfg.alpha = 0.25;
+    cfg.beta = 0.2;
+    const topo::Topology topo = topo::waxman(cfg, trng);
+    const graph::Graph& g = topo.graph;
+    const graph::AllPairsPaths paths(g);
+
+    core::DcdmTree tight(g, paths, 0, core::DcdmConfig{1.0});
+    core::DcdmTree loose(g, paths, 0, core::DcdmConfig{core::kLoosest});
+    std::vector<graph::NodeId> members;  // in KMB join order
+
+    EdgeSet tight_edges, loose_edges, kmb_edges;
+    Rng rng(seed * 77 + 5);
+    std::set<graph::NodeId> joined;
+    for (int event = 0; event < kEvents; ++event) {
+      const auto v =
+          static_cast<graph::NodeId>(rng.uniform_int(1, g.num_nodes() - 1));
+      if (joined.contains(v)) {
+        joined.erase(v);
+        members.erase(std::find(members.begin(), members.end(), v));
+        tight.leave(v);
+        loose.leave(v);
+      } else {
+        joined.insert(v);
+        members.push_back(v);
+        tight.join(v);
+        loose.join(v);
+      }
+
+      const EdgeSet tight_now = edge_set(tight.tree());
+      const EdgeSet loose_now = edge_set(loose.tree());
+      dcdm_tight.event_churn.add(churn(tight_edges, tight_now));
+      dcdm_loose.event_churn.add(churn(loose_edges, loose_now));
+      tight_edges = tight_now;
+      loose_edges = loose_now;
+      dcdm_tight.cost.add(tight.tree_cost());
+      dcdm_loose.cost.add(loose.tree_cost());
+
+      const auto kmb = graph::kmb_steiner(g, paths, 0, members);
+      const EdgeSet kmb_now = edge_set(kmb);
+      kmb_rebuild.event_churn.add(churn(kmb_edges, kmb_now));
+      kmb_edges = kmb_now;
+      kmb_rebuild.cost.add(kmb.tree_cost(g));
+    }
+  }
+
+  Table table({"algorithm", "avg tree cost", "avg edges changed/event"});
+  table.add_row({"DCDM tightest (incremental)",
+                 Table::num(dcdm_tight.cost.mean(), 0),
+                 Table::num(dcdm_tight.event_churn.mean(), 2)});
+  table.add_row({"DCDM loosest (incremental)",
+                 Table::num(dcdm_loose.cost.mean(), 0),
+                 Table::num(dcdm_loose.event_churn.mean(), 2)});
+  table.add_row({"KMB rebuilt every event",
+                 Table::num(kmb_rebuild.cost.mean(), 0),
+                 Table::num(kmb_rebuild.event_churn.mean(), 2)});
+  table.print(std::cout);
+
+  std::cout << "\nExpected: rebuilding KMB gives the cheapest trees but "
+               "changes roughly 3x as many tree edges per event (every "
+               "changed edge is installed routing state to tear down and "
+               "set up); incremental DCDM touches essentially only the "
+               "joining/leaving branch — the reason §III-D maintains the "
+               "tree dynamically, at a cost premium Fig. 7 quantifies.\n";
+  return 0;
+}

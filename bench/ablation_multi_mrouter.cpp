@@ -1,0 +1,154 @@
+// Extension ablation for §II-A's multi-m-router deployment: "An ISP may own
+// more than one m-routers in the Internet for serving its customers in
+// different geographic regions". We model exactly that premise: groups are
+// regional (members cluster around a random point), m-routers are placed by
+// greedy k-median (central but spread out), and the ISP allocates each
+// group's id from its regional m-router's block (so the published static
+// id -> m-router mapping sends each group to its nearest anchor). The same
+// workload is then served by 1, 2 or 4 m-routers.
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "core/scmp.hpp"
+#include "topo/waxman.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace scmp;
+
+/// Greedy k-median: repeatedly add the node that most reduces the sum over
+/// all nodes of the delay to their nearest chosen m-router.
+std::vector<graph::NodeId> kmedian_mrouters(const graph::Graph& g,
+                                            const graph::AllPairsPaths& paths,
+                                            int k) {
+  const int n = g.num_nodes();
+  std::vector<graph::NodeId> chosen;
+  std::vector<double> nearest(static_cast<std::size_t>(n),
+                              graph::kUnreachable);
+  for (int round = 0; round < k; ++round) {
+    graph::NodeId best = graph::kInvalidNode;
+    double best_total = graph::kUnreachable;
+    for (graph::NodeId cand = 0; cand < n; ++cand) {
+      if (std::find(chosen.begin(), chosen.end(), cand) != chosen.end())
+        continue;
+      double total = 0.0;
+      for (graph::NodeId v = 0; v < n; ++v)
+        total += std::min(nearest[static_cast<std::size_t>(v)],
+                          paths.sl_delay(cand, v));
+      if (total < best_total) {
+        best_total = total;
+        best = cand;
+      }
+    }
+    chosen.push_back(best);
+    for (graph::NodeId v = 0; v < n; ++v)
+      nearest[static_cast<std::size_t>(v)] =
+          std::min(nearest[static_cast<std::size_t>(v)],
+                   paths.sl_delay(best, v));
+  }
+  return chosen;
+}
+
+/// The `count` nodes closest to `center` by delay (deterministic tie-break).
+std::vector<graph::NodeId> regional_members(const graph::AllPairsPaths& paths,
+                                            graph::NodeId center, int count) {
+  std::vector<graph::NodeId> all(static_cast<std::size_t>(paths.num_nodes()));
+  for (int v = 0; v < paths.num_nodes(); ++v)
+    all[static_cast<std::size_t>(v)] = v;
+  std::sort(all.begin(), all.end(), [&](graph::NodeId a, graph::NodeId b) {
+    const double da = paths.sl_delay(center, a);
+    const double db = paths.sl_delay(center, b);
+    if (da != db) return da < db;
+    return a < b;
+  });
+  all.resize(static_cast<std::size_t>(count));
+  return all;
+}
+
+struct Metrics {
+  double protocol_overhead = 0.0;
+  double data_overhead = 0.0;
+  double max_e2e_ms = 0.0;
+};
+
+Metrics run(const graph::Graph& g, const graph::AllPairsPaths& paths, int k,
+            std::uint64_t seed) {
+  sim::EventQueue queue;
+  sim::Network net(g, queue);
+  igmp::IgmpDomain igmp(queue, g.num_nodes());
+  core::Scmp::Config cfg;
+  cfg.mrouters = kmedian_mrouters(g, paths, k);
+  core::Scmp scmp(net, igmp, cfg);
+
+  constexpr int kGroups = 8;
+  constexpr int kMembers = 8;
+  Rng rng(seed);
+  std::vector<std::pair<int, std::vector<graph::NodeId>>> groups;
+  for (int i = 0; i < kGroups; ++i) {
+    const auto center =
+        static_cast<graph::NodeId>(rng.uniform_int(0, g.num_nodes() - 1));
+    auto members = regional_members(paths, center, kMembers);
+    // The ISP allocates the group id from the regional m-router's block, so
+    // the static id -> m-router mapping anchors the group at its nearest
+    // m-router.
+    int nearest_idx = 0;
+    for (int j = 1; j < k; ++j) {
+      if (paths.sl_delay(center, cfg.mrouters[static_cast<std::size_t>(j)]) <
+          paths.sl_delay(center,
+                         cfg.mrouters[static_cast<std::size_t>(nearest_idx)]))
+        nearest_idx = j;
+    }
+    const int gid = (i + 1) * k + nearest_idx;
+    groups.emplace_back(gid, std::move(members));
+  }
+
+  for (const auto& [gid, members] : groups)
+    for (graph::NodeId m : members) scmp.host_join(m, gid);
+  queue.run_all();
+
+  for (int round = 0; round < 10; ++round) {
+    for (const auto& [gid, members] : groups)
+      scmp.send_data(members.front(), gid);
+    queue.run_all();
+  }
+
+  Metrics m;
+  m.protocol_overhead = net.stats().protocol_overhead;
+  m.data_overhead = net.stats().data_overhead;
+  m.max_e2e_ms = net.stats().max_end_to_end_delay * 1e3;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kSeeds = 5;
+  std::cout << "Ablation: 1 vs 2 vs 4 m-routers serving 8 regional groups\n"
+               "(random n=50 deg-3 topologies, " << kSeeds << " seeds)\n\n";
+
+  Table table({"m-routers", "protocol-overhead", "data-overhead",
+               "max-e2e (ms)"});
+  for (const int k : {1, 2, 4}) {
+    RunningStats proto, data, delay;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      Rng trng(seed * 100);
+      const topo::Topology topo = topo::waxman_with_degree(50, 3.0, trng);
+      const graph::AllPairsPaths paths(topo.graph);
+      const Metrics m = run(topo.graph, paths, k, seed * 7 + 3);
+      proto.add(m.protocol_overhead);
+      data.add(m.data_overhead);
+      delay.add(m.max_e2e_ms);
+    }
+    table.add_row({std::to_string(k), Table::num(proto.mean(), 0),
+                   Table::num(data.mean(), 0), Table::num(delay.mean(), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: with regional groups, more m-routers keep JOINs, "
+               "tree installs and shared trees local — protocol overhead, "
+               "data overhead and worst-case delay all drop versus one "
+               "domain-central m-router.\n";
+  return 0;
+}

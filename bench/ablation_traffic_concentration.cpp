@@ -1,0 +1,150 @@
+// Ablation for the paper's traffic-concentration argument (§I: "the ST-based
+// approach may cause traffic jam around the core, since packets from
+// multiple sources may reach the core simultaneously ... packet loss and
+// longer communication delay"; §V advantage 3: the m-router is "specially
+// designed ... to efficiently handle heavy network traffic").
+//
+// Off-tree sources unicast-encapsulate to the shared-tree core, so their
+// flows *converge* there. With ordinary-router buffers the convergence
+// overflows the core's drop-tail queues; giving only the core the
+// m-router's deep input/output buffers (Fig. 2(b)) absorbs the same burst.
+// (A faster core alone would merely shift the loss one hop downstream — the
+// buffering is the load-bearing piece of the design.)
+#include <iostream>
+#include <map>
+
+#include "core/placement.hpp"
+#include "core/scmp.hpp"
+#include "protocols/cbt.hpp"
+#include "topo/waxman.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace scmp;
+
+constexpr int kGroup = 1;
+constexpr int kMembers = 12;
+constexpr int kSenders = 8;      // off-tree sources (not group members)
+constexpr int kBurst = 4;        // packets per sender per round
+constexpr int kRounds = 3;
+constexpr double kPortBps = 2e6;        // 1000 B packet = 4 ms transmission
+constexpr double kSpacing = 1e-3;       // per-sender pacing inside a burst
+constexpr std::size_t kQueueLimit = 4;  // ordinary-router buffers
+constexpr std::size_t kDeepBuffers = 64;  // the m-router's buffers
+
+struct Result {
+  std::uint64_t queue_drops = 0;
+  double delivery_ratio = 0.0;
+  double max_e2e_ms = 0.0;
+};
+
+Result run(const graph::Graph& g, graph::NodeId core, bool scmp_protocol,
+           bool deep_core_buffers, std::uint64_t seed) {
+  sim::EventQueue queue;
+  sim::Network net(g, queue, kPortBps);
+  net.set_queue_limit(kQueueLimit);
+  if (deep_core_buffers) net.set_node_queue_limit(core, kDeepBuffers);
+  igmp::IgmpDomain igmp(queue, g.num_nodes());
+
+  std::unique_ptr<proto::MulticastProtocol> protocol;
+  if (scmp_protocol) {
+    core::Scmp::Config cfg;
+    cfg.mrouter = core;
+    protocol = std::make_unique<core::Scmp>(net, igmp, cfg);
+  } else {
+    auto cbt = std::make_unique<proto::Cbt>(net, igmp);
+    cbt->set_core(kGroup, core);
+    protocol = std::move(cbt);
+  }
+
+  std::uint64_t delivered = 0;
+  net.set_delivery_callback(
+      [&](const sim::Packet&, graph::NodeId, sim::SimTime) { ++delivered; });
+
+  Rng rng(seed);
+  std::vector<graph::NodeId> members;
+  std::vector<graph::NodeId> senders;
+  {
+    auto sample = rng.sample_without_replacement(g.num_nodes() - 1,
+                                                 kMembers + kSenders);
+    for (int i = 0; i < kMembers; ++i)
+      members.push_back(sample[static_cast<std::size_t>(i)] + 1);
+    for (int i = 0; i < kSenders; ++i)
+      senders.push_back(sample[static_cast<std::size_t>(kMembers + i)] + 1);
+  }
+  for (graph::NodeId m : members) protocol->host_join(m, kGroup);
+  queue.run_all();
+
+  for (int round = 0; round < kRounds; ++round) {
+    const double t0 = queue.now() + 0.5;
+    // Every off-tree sender paces its own packets, but the eight
+    // encapsulated flows still converge at the core within milliseconds.
+    for (int p = 0; p < kBurst; ++p) {
+      for (int s = 0; s < kSenders; ++s) {
+        queue.schedule_at(t0 + p * kSpacing,
+                          [&protocol, src = senders[static_cast<std::size_t>(s)]]() {
+                            protocol->send_data(src, kGroup);
+                          });
+      }
+    }
+    queue.run_all();
+  }
+
+  Result r;
+  r.queue_drops = net.stats().queue_drops;
+  const double expected =
+      static_cast<double>(kRounds) * kSenders * kBurst * kMembers;
+  r.delivery_ratio = static_cast<double>(delivered) / expected;
+  r.max_e2e_ms = net.stats().max_end_to_end_delay * 1e3;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kSeeds = 5;
+  std::cout << "Ablation: traffic concentration at the shared-tree core\n"
+            << "(" << kSenders << " off-tree senders x " << kBurst
+            << "-packet bursts x " << kRounds << " rounds, "
+            << kPortBps / 1e6 << " Mbps ports, ordinary buffers of "
+            << kQueueLimit << " vs m-router buffers of " << kDeepBuffers
+            << ")\n\n";
+
+  Table table({"configuration", "queue-drops", "delivery-ratio",
+               "max-e2e (ms)"});
+  struct Config {
+    const char* name;
+    bool scmp;
+    bool deep;
+  };
+  const Config configs[] = {
+      {"CBT, ordinary core", false, false},
+      {"SCMP, ordinary-router root", true, false},
+      {"SCMP, m-router buffers at root", true, true},
+  };
+  for (const Config& c : configs) {
+    RunningStats drops, ratio, delay;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      Rng trng(seed * 100);
+      const topo::Topology topo = topo::waxman_with_degree(50, 3.0, trng);
+      const graph::AllPairsPaths paths(topo.graph);
+      const graph::NodeId core = core::place_mrouter(
+          topo.graph, paths, core::PlacementRule::kMinAverageDelay);
+      const Result r = run(topo.graph, core, c.scmp, c.deep, seed * 31);
+      drops.add(static_cast<double>(r.queue_drops));
+      ratio.add(r.delivery_ratio);
+      delay.add(r.max_e2e_ms);
+    }
+    table.add_row({c.name, Table::num(drops.mean(), 0),
+                   Table::num(ratio.mean(), 4), Table::num(delay.mean(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: with ordinary buffers the convergence of the "
+               "encapsulated flows overflows the core and packets are lost; "
+               "the m-router's buffers absorb the burst (delivery ratio "
+               "~1.0) at the cost of queueing delay at the core — the "
+               "paper's §V trade-off made concrete.\n";
+  return 0;
+}

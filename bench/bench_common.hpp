@@ -1,0 +1,106 @@
+// Shared scaffolding for the Fig. 8 / Fig. 9 network-wide experiments
+// (paper §IV-B): the three evaluation topologies and the scenario runner.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+#include "core/experiment.hpp"
+#include "core/placement.hpp"
+#include "topo/arpanet.hpp"
+#include "topo/waxman.hpp"
+#include "util/rng.hpp"
+
+namespace scmp::bench {
+
+inline std::vector<topo::Topology> evaluation_topologies(std::uint64_t seed) {
+  std::vector<topo::Topology> topos;
+  {
+    Rng rng(seed);
+    topos.push_back(topo::arpanet(rng));
+  }
+  {
+    Rng rng(seed + 1);
+    topos.push_back(topo::waxman_with_degree(50, 3.0, rng));
+  }
+  {
+    Rng rng(seed + 2);
+    topos.push_back(topo::waxman_with_degree(50, 5.0, rng));
+  }
+  return topos;
+}
+
+constexpr core::ProtocolKind kProtocols[] = {
+    core::ProtocolKind::kScmp, core::ProtocolKind::kDvmrp,
+    core::ProtocolKind::kMospf, core::ProtocolKind::kCbt};
+
+/// Builds the §IV-B scenario: `group_size` random members, a source drawn
+/// from the group (so shared-tree protocols need no per-packet
+/// encapsulation — the data-overhead comparison then reflects pure tree
+/// cost, which is what Fig. 8 correlates it with), one packet per second
+/// from t=2 to t=30. Set `member_source=false` for an off-tree sender.
+inline core::ScenarioConfig scenario_for(const graph::Graph& g,
+                                         int group_size, std::uint64_t seed,
+                                         bool member_source = true) {
+  core::ScenarioConfig cfg;
+  // The m-router (and CBT core) is placed by the paper's rule 1: the node
+  // with the least average delay to all other nodes (§IV-A).
+  {
+    const graph::AllPairsPaths paths(g);
+    cfg.mrouter =
+        core::place_mrouter(g, paths, core::PlacementRule::kMinAverageDelay);
+  }
+  Rng rng(seed * 7919 + static_cast<std::uint64_t>(group_size));
+  for (int v : rng.sample_without_replacement(g.num_nodes() - 1, group_size))
+    cfg.members.push_back(v + 1);
+  cfg.source = cfg.members.front();
+  if (!member_source) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto v =
+          static_cast<graph::NodeId>(rng.uniform_int(1, g.num_nodes() - 1));
+      if (std::find(cfg.members.begin(), cfg.members.end(), v) ==
+          cfg.members.end()) {
+        cfg.source = v;
+        break;
+      }
+    }
+  }
+  return cfg;
+}
+
+/// Prints each result table under a title and, when the binary was invoked
+/// with `--csv <dir>`, mirrors it to <dir>/<stem>.csv for plotting.
+class TableSink {
+ public:
+  TableSink(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--csv") csv_dir_ = argv[i + 1];
+    }
+  }
+
+  void emit(const std::string& title, const std::string& stem,
+            const Table& table) {
+    std::cout << "== " << title << " ==\n";
+    table.print(std::cout);
+    std::cout << "\n";
+    if (csv_dir_.empty()) return;
+    const std::string path = csv_dir_ + "/" + stem + ".csv";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "warning: cannot write " << path << "\n";
+      return;
+    }
+    table.write_csv(out);
+  }
+
+  bool csv_enabled() const { return !csv_dir_.empty(); }
+
+ private:
+  std::string csv_dir_;
+};
+
+}  // namespace scmp::bench

@@ -1,0 +1,56 @@
+// Micro-benchmark of the m-router's parallel tree-compute pool (§II-B):
+// rebuilding many group trees serially vs on worker threads — the hot path
+// of a hot-standby failover at an ISP m-router serving many sessions.
+#include <benchmark/benchmark.h>
+
+#include "core/compute_pool.hpp"
+#include "topo/waxman.hpp"
+
+namespace {
+
+using namespace scmp;
+
+struct Env {
+  topo::Topology topo;
+  graph::AllPairsPaths paths;
+  std::vector<core::GroupMembership> groups;
+
+  Env() : topo([] {
+            Rng rng(3);
+            topo::WaxmanConfig cfg;
+            cfg.num_nodes = 100;
+            cfg.alpha = 0.25;
+            cfg.beta = 0.2;
+            return topo::waxman(cfg, rng);
+          }()),
+          paths(topo.graph) {
+    Rng rng(5);
+    for (int i = 0; i < 64; ++i) {
+      core::GroupMembership gm;
+      gm.group = i + 1;
+      for (int v : rng.sample_without_replacement(99, 20))
+        gm.join_order.push_back(v + 1);
+      groups.push_back(std::move(gm));
+    }
+  }
+};
+
+const Env& env() {
+  static const Env e;
+  return e;
+}
+
+void BM_BuildTreesThreads(benchmark::State& state) {
+  const core::TreeComputePool pool(env().topo.graph, env().paths,
+                                   static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pool.build_trees(0, env().groups, core::DcdmConfig{1.0}));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(env().groups.size()));
+}
+BENCHMARK(BM_BuildTreesThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->MeasureProcessCPUTime();
+
+}  // namespace

@@ -1,0 +1,56 @@
+// Micro-benchmarks of the graph substrate: Dijkstra, the all-pairs path
+// cache the m-router keeps, and the KMB Steiner approximation.
+#include <benchmark/benchmark.h>
+
+#include "graph/paths.hpp"
+#include "graph/steiner.hpp"
+#include "topo/waxman.hpp"
+
+namespace {
+
+using namespace scmp;
+
+topo::Topology make_topo(int n) {
+  Rng rng(42);
+  topo::WaxmanConfig cfg;
+  cfg.num_nodes = n;
+  cfg.alpha = 0.25;
+  cfg.beta = 0.2;
+  return topo::waxman(cfg, rng);
+}
+
+void BM_Dijkstra(benchmark::State& state) {
+  const auto topo = make_topo(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::dijkstra(topo.graph, 0, graph::Metric::kDelay));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Dijkstra)->Arg(50)->Arg(100)->Arg(200)->Complexity();
+
+void BM_AllPairsPaths(benchmark::State& state) {
+  const auto topo = make_topo(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    graph::AllPairsPaths paths(topo.graph);
+    benchmark::DoNotOptimize(paths);
+  }
+}
+BENCHMARK(BM_AllPairsPaths)->Arg(50)->Arg(100);
+
+void BM_KmbSteiner(benchmark::State& state) {
+  const auto topo = make_topo(100);
+  const graph::AllPairsPaths paths(topo.graph);
+  Rng rng(7);
+  std::vector<graph::NodeId> members;
+  for (int v : rng.sample_without_replacement(
+           topo.graph.num_nodes() - 1, static_cast<int>(state.range(0))))
+    members.push_back(v + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::kmb_steiner(topo.graph, paths, 0, members));
+  }
+}
+BENCHMARK(BM_KmbSteiner)->Arg(10)->Arg(50)->Arg(90);
+
+}  // namespace

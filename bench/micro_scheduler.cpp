@@ -1,0 +1,50 @@
+// Micro-benchmark of the m-router's WFQ egress scheduler (§II-A traffic
+// scheduling): enqueue/dequeue throughput as the number of competing groups
+// grows.
+#include <benchmark/benchmark.h>
+
+#include "core/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace scmp;
+
+void BM_WfqEnqueueDequeue(benchmark::State& state) {
+  const int groups = static_cast<int>(state.range(0));
+  Rng rng(9);
+  for (auto _ : state) {
+    core::WfqScheduler s(1e9);
+    for (int g = 0; g < groups; ++g)
+      s.set_weight(g, 1.0 + static_cast<double>(g % 4));
+    std::uint64_t uid = 0;
+    for (int round = 0; round < 64; ++round) {
+      for (int g = 0; g < groups; ++g)
+        s.enqueue(g, uid++, 500 + static_cast<std::size_t>(g) * 7, 0.0);
+    }
+    while (s.dequeue().has_value()) {
+    }
+    benchmark::DoNotOptimize(s.served_bytes());
+  }
+  state.SetItemsProcessed(state.iterations() * 64 *
+                          static_cast<std::int64_t>(groups));
+}
+BENCHMARK(BM_WfqEnqueueDequeue)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_WfqBurstInterleave(benchmark::State& state) {
+  for (auto _ : state) {
+    core::WfqScheduler s(1e9);
+    s.set_weight(1, 4.0);
+    s.set_weight(2, 1.0);
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      s.enqueue(1, i, 9000, 0.0);
+      s.enqueue(2, 1000 + i, 100, 0.0);
+    }
+    while (s.dequeue().has_value()) {
+    }
+    benchmark::DoNotOptimize(s.pending());
+  }
+}
+BENCHMARK(BM_WfqBurstInterleave);
+
+}  // namespace

@@ -1,0 +1,49 @@
+// Micro-benchmarks of the discrete-event simulator: event-queue throughput
+// and end-to-end SCMP scenario execution speed (events per second is the
+// figure of merit for scaling the Fig. 8/9 sweeps).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using namespace scmp;
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    long counter = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      q.schedule_at(static_cast<double>(i % 97), [&counter] { ++counter; });
+    q.run_all();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1000)->Arg(100000);
+
+void BM_ScenarioScmp(benchmark::State& state) {
+  const auto topos = bench::evaluation_topologies(100);
+  const graph::Graph& g = topos[1].graph;  // random n=50 deg 3
+  const core::ScenarioConfig cfg = bench::scenario_for(g, 20, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::run_scenario(core::ProtocolKind::kScmp, g, cfg));
+  }
+}
+BENCHMARK(BM_ScenarioScmp);
+
+void BM_ScenarioDvmrp(benchmark::State& state) {
+  const auto topos = bench::evaluation_topologies(100);
+  const graph::Graph& g = topos[1].graph;
+  const core::ScenarioConfig cfg = bench::scenario_for(g, 20, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::run_scenario(core::ProtocolKind::kDvmrp, g, cfg));
+  }
+}
+BENCHMARK(BM_ScenarioDvmrp);
+
+}  // namespace

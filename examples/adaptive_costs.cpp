@@ -1,0 +1,138 @@
+// Utilisation-adaptive link costs: the paper defines link cost as a function
+// of utilisation (§II-D) and argues the service-centric architecture makes
+// re-optimisation easy — only the m-router needs to act (§I: "it is
+// convenient to modify the algorithm if the requirements change. Other
+// routers do not need to know").
+//
+// This example runs several concurrent group sessions, measures per-link
+// load, re-prices the links from the observed utilisation, lets the m-router
+// rebuild all group trees against the new costs, and re-runs the same
+// traffic: load shifts off the hottest links while deliveries stay
+// identical.
+#include <iostream>
+#include <numeric>
+
+#include "core/dcdm.hpp"
+#include "core/placement.hpp"
+#include "core/scmp.hpp"
+#include "igmp/igmp.hpp"
+#include "sim/link_load.hpp"
+#include "topo/waxman.hpp"
+#include "util/table.hpp"
+
+using namespace scmp;
+
+namespace {
+
+constexpr int kGroups = 4;
+constexpr int kMembersPerGroup = 10;
+constexpr int kPacketsPerGroup = 20;
+
+struct Workload {
+  std::vector<std::vector<graph::NodeId>> members;  // per group
+  std::vector<graph::NodeId> sources;               // per group
+};
+
+Workload make_workload(const graph::Graph& g) {
+  Workload w;
+  Rng rng(11);
+  for (int group = 0; group < kGroups; ++group) {
+    std::vector<graph::NodeId> members;
+    for (int v :
+         rng.sample_without_replacement(g.num_nodes() - 1, kMembersPerGroup))
+      members.push_back(v + 1);
+    w.sources.push_back(members.front());
+    w.members.push_back(std::move(members));
+  }
+  return w;
+}
+
+struct RunResult {
+  std::uint64_t max_link_bytes = 0;
+  std::uint64_t top5_bytes = 0;
+  std::uint64_t deliveries = 0;
+  std::vector<sim::LinkLoad> top;
+  graph::Graph repriced;
+};
+
+RunResult run_once(const graph::Graph& g, graph::NodeId mrouter,
+                   const Workload& w) {
+  sim::EventQueue queue;
+  sim::Network net(g, queue);
+  igmp::IgmpDomain igmp(queue, g.num_nodes());
+  core::Scmp::Config cfg;
+  cfg.mrouter = mrouter;
+  cfg.dcdm.delay_slack = core::kLoosest;  // free rein for cost optimisation
+  core::Scmp scmp(net, igmp, cfg);
+
+  for (int group = 0; group < kGroups; ++group)
+    for (graph::NodeId m : w.members[static_cast<std::size_t>(group)])
+      scmp.host_join(m, group + 1);
+  queue.run_all();
+
+  for (int round = 0; round < kPacketsPerGroup; ++round) {
+    for (int group = 0; group < kGroups; ++group)
+      scmp.send_data(w.sources[static_cast<std::size_t>(group)], group + 1);
+    queue.run_all();
+  }
+
+  RunResult r;
+  r.deliveries = net.stats().deliveries;
+  auto loads = sim::link_loads(net);
+  r.max_link_bytes = loads.empty() ? 0 : loads.front().bytes;
+  for (std::size_t i = 0; i < loads.size() && i < 5; ++i)
+    r.top5_bytes += loads[i].bytes;
+  loads.resize(std::min<std::size_t>(loads.size(), 3));
+  r.top = std::move(loads);
+  r.repriced = sim::utilization_adjusted(g, net, /*alpha=*/4.0);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  Rng trng(5);
+  const topo::Topology topo = topo::waxman_with_degree(50, 3.0, trng);
+  const graph::AllPairsPaths paths(topo.graph);
+  // A well-connected m-router (rule 2) leaves alternative links to shift
+  // load onto.
+  const graph::NodeId mrouter = core::place_mrouter(
+      topo.graph, paths, core::PlacementRule::kMaxDegree);
+  const Workload w = make_workload(topo.graph);
+
+  std::cout << kGroups << " concurrent groups x " << kMembersPerGroup
+            << " members, m-router at node " << mrouter << "\n\n"
+            << "Round 1: static link costs (the paper's simulation setup)\n";
+  const RunResult first = run_once(topo.graph, mrouter, w);
+  for (const auto& l : first.top)
+    std::cout << "  hot link " << l.u << "-" << l.v << ": " << l.bytes
+              << " bytes\n";
+
+  std::cout << "\nRound 2: same traffic, m-router re-optimises every group "
+               "tree against utilisation-derived costs\n";
+  const RunResult second = run_once(first.repriced, mrouter, w);
+  for (const auto& l : second.top)
+    std::cout << "  hot link " << l.u << "-" << l.v << ": " << l.bytes
+              << " bytes\n";
+
+  Table table({"metric", "static costs", "utilisation costs"});
+  table.add_row({"busiest link (bytes)", std::to_string(first.max_link_bytes),
+                 std::to_string(second.max_link_bytes)});
+  table.add_row({"5 hottest links (bytes)", std::to_string(first.top5_bytes),
+                 std::to_string(second.top5_bytes)});
+  table.add_row({"deliveries", std::to_string(first.deliveries),
+                 std::to_string(second.deliveries)});
+  std::cout << "\n";
+  table.print(std::cout);
+
+  const double reduction =
+      100.0 * (1.0 - static_cast<double>(second.top5_bytes) /
+                         static_cast<double>(first.top5_bytes));
+  std::cout << "\nLoad on the five hottest links changed by "
+            << Table::num(reduction, 1)
+            << "% (positive = relieved); deliveries unchanged: "
+            << (first.deliveries == second.deliveries ? "yes" : "NO") << "\n"
+            << "Only the m-router changed its behaviour; every i-router just "
+               "installed the TREE/BRANCH packets it was sent.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Hot-standby failover drill (paper §V, advantage 4): an ISP runs a primary
+// and a secondary m-router; mid-session the primary "fails" and the
+// secondary takes over, rebuilding and reinstalling every group tree from
+// the replicated service database. Delivery continues for all members.
+#include <iostream>
+
+#include "core/placement.hpp"
+#include "core/scmp.hpp"
+#include "igmp/igmp.hpp"
+#include "sim/network.hpp"
+#include "topo/waxman.hpp"
+
+using namespace scmp;
+
+int main() {
+  Rng rng(17);
+  const topo::Topology topo = topo::waxman_with_degree(50, 3.0, rng);
+  const graph::Graph& g = topo.graph;
+  const graph::AllPairsPaths paths(g);
+
+  // Place the primary with rule 1 (min average delay) and the standby with
+  // rule 2 (max degree), per the paper's placement heuristics.
+  const graph::NodeId primary =
+      core::place_mrouter(g, paths, core::PlacementRule::kMinAverageDelay);
+  graph::NodeId standby =
+      core::place_mrouter(g, paths, core::PlacementRule::kMaxDegree);
+  if (standby == primary) standby = (primary + 1) % g.num_nodes();
+
+  sim::EventQueue queue;
+  sim::Network net(g, queue);
+  igmp::IgmpDomain igmp(queue, g.num_nodes());
+  core::Scmp::Config cfg;
+  cfg.mrouter = primary;
+  core::Scmp scmp(net, igmp, cfg);
+
+  int deliveries_this_packet = 0;
+  net.set_delivery_callback(
+      [&](const sim::Packet&, graph::NodeId, sim::SimTime) {
+        ++deliveries_this_packet;
+      });
+
+  const int group = 1;
+  Rng mrng(23);
+  std::vector<graph::NodeId> members;
+  for (int v : mrng.sample_without_replacement(g.num_nodes() - 1, 12)) {
+    const graph::NodeId m = v + 1;
+    if (m == primary || m == standby) continue;
+    members.push_back(m);
+    scmp.host_join(m, group);
+  }
+  queue.run_all();
+
+  std::cout << "Primary m-router at " << primary << " (rule: min-avg-delay), "
+            << "standby at " << standby << " (rule: max-degree), "
+            << members.size() << " members.\n";
+
+  auto send_and_report = [&](const char* label) {
+    deliveries_this_packet = 0;
+    scmp.send_data(members.front(), group);
+    queue.run_all();
+    std::cout << "  " << label << ": " << deliveries_this_packet << "/"
+              << members.size() << " members reached, tree rooted at "
+              << scmp.group_tree(group)->root() << ", consistent="
+              << (scmp.network_state_consistent(group) ? "yes" : "NO") << "\n";
+  };
+
+  std::cout << "\nBefore failover:\n";
+  send_and_report("multicast");
+
+  std::cout << "\n*** primary m-router " << primary
+            << " fails; standby takes over ***\n";
+  const double proto_before = net.stats().protocol_overhead;
+  scmp.fail_over_to(standby);
+  queue.run_all();
+  std::cout << "  reinstallation protocol overhead: "
+            << net.stats().protocol_overhead - proto_before
+            << " link-cost units\n";
+
+  std::cout << "\nAfter failover:\n";
+  send_and_report("multicast");
+
+  std::cout << "\nMembership database survived the failover: "
+            << scmp.database().members_of(group).size() << "/" << members.size()
+            << " members on record.\n";
+  return 0;
+}

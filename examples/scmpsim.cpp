@@ -1,0 +1,187 @@
+// scmpsim — command-line driver for one-off experiments.
+//
+// Runs a single §IV-B-style scenario and prints the paper's metrics, so a
+// user can explore the parameter space without writing code:
+//
+//   scmpsim [--topo arpanet|waxman|deg3|deg5] [--protocol scmp|dvmrp|mospf|cbt]
+//           [--group-size N] [--seed S] [--duration SECONDS]
+//           [--slack X|inf] [--off-tree-source]
+//
+// Example:
+//   scmpsim --topo deg3 --protocol scmp --group-size 24 --seed 7
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "graph/dot.hpp"
+
+#include "core/dcdm.hpp"
+#include "core/experiment.hpp"
+#include "core/placement.hpp"
+#include "topo/arpanet.hpp"
+#include "topo/waxman.hpp"
+#include "util/table.hpp"
+
+using namespace scmp;
+
+namespace {
+
+struct Options {
+  std::string topo = "deg3";
+  std::string protocol = "scmp";
+  int group_size = 16;
+  std::uint64_t seed = 1;
+  double duration = 30.0;
+  double slack = 1.0;
+  bool off_tree_source = false;
+  std::string dot_path;  ///< write the DCDM tree as Graphviz DOT
+};
+
+[[noreturn]] void usage_and_exit(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--topo arpanet|waxman|deg3|deg5]"
+         " [--protocol scmp|dvmrp|mospf|cbt|pimsm]\n"
+         "       [--group-size N] [--seed S] [--duration SECONDS]\n"
+         "       [--slack X|inf] [--off-tree-source] [--dot FILE]\n";
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage_and_exit(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--topo") {
+      opt.topo = next();
+    } else if (arg == "--protocol") {
+      opt.protocol = next();
+    } else if (arg == "--group-size") {
+      opt.group_size = std::stoi(next());
+    } else if (arg == "--seed") {
+      opt.seed = std::stoull(next());
+    } else if (arg == "--duration") {
+      opt.duration = std::stod(next());
+    } else if (arg == "--slack") {
+      const std::string v = next();
+      opt.slack = (v == "inf") ? core::kLoosest : std::stod(v);
+    } else if (arg == "--off-tree-source") {
+      opt.off_tree_source = true;
+    } else if (arg == "--dot") {
+      opt.dot_path = next();
+    } else {
+      usage_and_exit(argv[0]);
+    }
+  }
+  return opt;
+}
+
+topo::Topology build_topology(const Options& opt) {
+  Rng rng(opt.seed * 100);
+  if (opt.topo == "arpanet") return topo::arpanet(rng);
+  if (opt.topo == "deg3") return topo::waxman_with_degree(50, 3.0, rng);
+  if (opt.topo == "deg5") return topo::waxman_with_degree(50, 5.0, rng);
+  if (opt.topo == "waxman") {
+    topo::WaxmanConfig cfg;
+    cfg.num_nodes = 100;
+    cfg.alpha = 0.25;
+    cfg.beta = 0.2;
+    return topo::waxman(cfg, rng);
+  }
+  std::cerr << "unknown topology: " << opt.topo << "\n";
+  std::exit(2);
+}
+
+core::ProtocolKind parse_protocol(const std::string& name) {
+  if (name == "scmp") return core::ProtocolKind::kScmp;
+  if (name == "dvmrp") return core::ProtocolKind::kDvmrp;
+  if (name == "mospf") return core::ProtocolKind::kMospf;
+  if (name == "cbt") return core::ProtocolKind::kCbt;
+  if (name == "pimsm") return core::ProtocolKind::kPimSm;
+  std::cerr << "unknown protocol: " << name << "\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  const topo::Topology topo = build_topology(opt);
+  const graph::Graph& g = topo.graph;
+  if (opt.group_size >= g.num_nodes()) {
+    std::cerr << "group size must be below the node count ("
+              << g.num_nodes() << ")\n";
+    return 2;
+  }
+
+  core::ScenarioConfig cfg;
+  cfg.duration = opt.duration;
+  cfg.dcdm_slack = opt.slack;
+  {
+    const graph::AllPairsPaths paths(g);
+    cfg.mrouter =
+        core::place_mrouter(g, paths, core::PlacementRule::kMinAverageDelay);
+  }
+  Rng rng(opt.seed * 7919 + static_cast<std::uint64_t>(opt.group_size));
+  for (int v :
+       rng.sample_without_replacement(g.num_nodes() - 1, opt.group_size))
+    cfg.members.push_back(v + 1);
+  cfg.source = cfg.members.front();
+  if (opt.off_tree_source) {
+    for (graph::NodeId v = 1; v < g.num_nodes(); ++v) {
+      if (std::find(cfg.members.begin(), cfg.members.end(), v) ==
+          cfg.members.end()) {
+        cfg.source = v;
+        break;
+      }
+    }
+  }
+
+  const core::ScenarioResult r =
+      core::run_scenario(parse_protocol(opt.protocol), g, cfg);
+
+  std::cout << "topology   : " << topo.name << " (" << g.num_nodes()
+            << " nodes, " << g.num_edges() << " links, avg degree "
+            << Table::num(g.average_degree(), 2) << ")\n"
+            << "protocol   : " << r.protocol << "\n"
+            << "m-router   : node " << cfg.mrouter << " (min-avg-delay rule)\n"
+            << "group size : " << opt.group_size << ", source router "
+            << cfg.source << (opt.off_tree_source ? " (off-tree)" : " (member)")
+            << "\n"
+            << "traffic    : " << r.data_packets_sent << " packets over "
+            << opt.duration << " s\n\n";
+
+  Table table({"metric", "value"});
+  table.add_row({"data overhead (lc units)", Table::num(r.stats.data_overhead, 0)});
+  table.add_row({"protocol overhead (lc units)",
+                 Table::num(r.stats.protocol_overhead, 0)});
+  table.add_row({"data link crossings",
+                 std::to_string(r.stats.data_link_crossings)});
+  table.add_row({"protocol link crossings",
+                 std::to_string(r.stats.protocol_link_crossings)});
+  table.add_row({"deliveries", std::to_string(r.stats.deliveries)});
+  table.add_row({"max end-to-end delay (ms)",
+                 Table::num(r.stats.max_end_to_end_delay * 1e3, 3)});
+  table.add_row({"IGMP messages", std::to_string(r.igmp_messages)});
+  table.print(std::cout);
+
+  if (!opt.dot_path.empty()) {
+    // The DCDM shared tree for the final membership (joined in the same
+    // order), rendered as Graphviz DOT for `dot -Tsvg`.
+    const graph::AllPairsPaths paths(g);
+    core::DcdmTree tree(g, paths, cfg.mrouter, core::DcdmConfig{opt.slack});
+    for (graph::NodeId m : cfg.members) tree.join(m);
+    std::ofstream out(opt.dot_path);
+    if (!out) {
+      std::cerr << "cannot write " << opt.dot_path << "\n";
+      return 1;
+    }
+    out << graph::to_dot(g, tree.tree());
+    std::cout << "\nDCDM shared tree written to " << opt.dot_path << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Software distribution: the paper's one-to-many workload (§I) with client
+// churn. A distribution server pushes one packet per second for 60 s over a
+// 50-node domain while clients subscribe and unsubscribe mid-transfer. The
+// same schedule runs under SCMP and under DVMRP to show the bandwidth gap
+// (Fig. 8's headline result) on a realistic workload.
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "topo/waxman.hpp"
+#include "util/table.hpp"
+
+using namespace scmp;
+
+int main() {
+  Rng trng(7);
+  const topo::Topology topo = topo::waxman_with_degree(50, 3.0, trng);
+  const graph::Graph& g = topo.graph;
+
+  core::ScenarioConfig cfg;
+  cfg.mrouter = 0;
+  cfg.duration = 60.0;
+  cfg.data_start = 5.0;
+  cfg.data_interval = 1.0;
+
+  // The distribution server plus 18 clients join during the first seconds
+  // (the server subscribes to its own channel, so it is on the tree and
+  // shared-tree protocols need no per-packet encapsulation)...
+  Rng rng(99);
+  for (int v : rng.sample_without_replacement(g.num_nodes() - 1, 19))
+    cfg.members.push_back(v + 1);
+  cfg.source = cfg.members.back();
+  // ...and six clients churn out mid-transfer.
+  for (int i = 0; i < 6; ++i)
+    cfg.leaves.push_back({20.0 + 5.0 * i, cfg.members[static_cast<std::size_t>(i)]});
+
+  std::cout << "Software distribution over " << topo.name << ": 18 clients, "
+            << "6 churn out between t=20s and t=45s,\nserver at router "
+            << cfg.source << " sends 1 pkt/s from t=5s to t=60s.\n\n";
+
+  Table table({"protocol", "data-overhead", "protocol-overhead", "deliveries",
+               "max-e2e(ms)"});
+  for (const auto kind :
+       {core::ProtocolKind::kScmp, core::ProtocolKind::kDvmrp,
+        core::ProtocolKind::kMospf, core::ProtocolKind::kCbt}) {
+    const core::ScenarioResult r = core::run_scenario(kind, g, cfg);
+    table.add_row({r.protocol, Table::num(r.stats.data_overhead, 0),
+                   Table::num(r.stats.protocol_overhead, 0),
+                   std::to_string(r.stats.deliveries),
+                   Table::num(r.stats.max_end_to_end_delay * 1e3, 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nSCMP serves the distribution with the least data bandwidth; "
+               "DVMRP pays for periodic refloods;\nMOSPF pays LSA floods for "
+               "every client that churns.\n";
+  return 0;
+}

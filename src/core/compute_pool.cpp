@@ -1,0 +1,67 @@
+#include "core/compute_pool.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/contracts.hpp"
+
+namespace scmp::core {
+
+TreeComputePool::TreeComputePool(const graph::Graph& g,
+                                 const graph::AllPairsPaths& paths,
+                                 int threads)
+    : g_(&g), paths_(&paths) {
+  if (threads <= 0)
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  threads_ = std::max(threads, 1);
+}
+
+void TreeComputePool::for_each_index(
+    std::size_t count, const std::function<void(std::size_t)>& fn) const {
+  if (count == 0) return;
+  const auto workers =
+      std::min<std::size_t>(static_cast<std::size_t>(threads_), count);
+  if (workers == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // Static block partitioning: worker w handles [w*chunk, min((w+1)*chunk, n)).
+  // Each index is touched by exactly one worker, so no synchronisation is
+  // needed beyond the joins, and the result cannot depend on scheduling.
+  const std::size_t chunk = (count + workers - 1) / workers;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = std::min(begin + chunk, count);
+    if (begin >= end) break;
+    pool.emplace_back([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+std::map<GroupId, DcdmTree> TreeComputePool::build_trees(
+    graph::NodeId root, const std::vector<GroupMembership>& groups,
+    const DcdmConfig& cfg) const {
+  SCMP_EXPECTS(g_->valid(root));
+
+  // Build into an index-addressed vector of slots, then move into the map:
+  // workers never touch shared structures.
+  std::vector<DcdmTree> slots;
+  slots.reserve(groups.size());
+  for (std::size_t i = 0; i < groups.size(); ++i)
+    slots.emplace_back(*g_, *paths_, root, cfg);
+
+  for_each_index(groups.size(), [&](std::size_t i) {
+    for (graph::NodeId member : groups[i].join_order) slots[i].join(member);
+  });
+
+  std::map<GroupId, DcdmTree> out;
+  for (std::size_t i = 0; i < groups.size(); ++i)
+    out.emplace(groups[i].group, std::move(slots[i]));
+  return out;
+}
+
+}  // namespace scmp::core

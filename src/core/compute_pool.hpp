@@ -1,0 +1,60 @@
+// Parallel multicast-task engine for the m-router (paper §II-B: "Many tasks
+// in the m-router, such as managing multicast group membership, generating
+// multicast trees, scheduling, routing and transmission, are relatively
+// independent, which can be performed in parallel. Thus, the m-router can
+// adopt a multiprocessor or a cluster computer architecture").
+//
+// Per-group work (tree computation) is embarrassingly parallel: each group's
+// DCDM tree depends only on that group's membership. The pool partitions the
+// groups over a fixed set of worker threads; results are written into
+// per-group slots, so the outcome is bit-identical to a serial run
+// regardless of thread count or scheduling.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/dcdm.hpp"
+#include "graph/graph.hpp"
+#include "graph/paths.hpp"
+
+namespace scmp::core {
+
+using GroupId = int;
+
+/// Membership snapshot for one group: the routers whose hosts subscribed,
+/// in join order (DCDM is order-sensitive).
+struct GroupMembership {
+  GroupId group = -1;
+  std::vector<graph::NodeId> join_order;
+};
+
+class TreeComputePool {
+ public:
+  /// `threads` <= 0 selects the hardware concurrency (at least 1).
+  TreeComputePool(const graph::Graph& g, const graph::AllPairsPaths& paths,
+                  int threads = 0);
+
+  int thread_count() const { return threads_; }
+
+  /// Builds the DCDM tree of every group concurrently. Deterministic: the
+  /// result for a group depends only on (root, cfg, join_order).
+  std::map<GroupId, DcdmTree> build_trees(
+      graph::NodeId root, const std::vector<GroupMembership>& groups,
+      const DcdmConfig& cfg) const;
+
+  /// Generic parallel-for over group indices with static partitioning
+  /// (deterministic assignment of work to slots; used by build_trees and
+  /// exposed for other per-group m-router tasks such as accounting rollups).
+  void for_each_index(std::size_t count,
+                      const std::function<void(std::size_t)>& fn) const;
+
+ private:
+  const graph::Graph* g_;
+  const graph::AllPairsPaths* paths_;
+  int threads_;
+};
+
+}  // namespace scmp::core

@@ -1,0 +1,120 @@
+#include "core/dcdm.hpp"
+
+#include <algorithm>
+
+namespace scmp::core {
+
+DcdmTree::DcdmTree(const graph::Graph& g, const graph::AllPairsPaths& paths,
+                   graph::NodeId root, DcdmConfig cfg)
+    : g_(&g), paths_(&paths), cfg_(cfg), tree_(root, g.num_nodes()) {
+  SCMP_EXPECTS(cfg.delay_slack >= 1.0);
+}
+
+double DcdmTree::unicast_delay(graph::NodeId v) const {
+  return paths_->sl_delay(tree_.root(), v);
+}
+
+double DcdmTree::delay_bound_for(graph::NodeId joining) const {
+  if (cfg_.delay_slack == kLoosest) return kLoosest;
+  double max_ul = unicast_delay(joining);
+  for (graph::NodeId m : tree_.members())
+    max_ul = std::max(max_ul, unicast_delay(m));
+  return std::max(cfg_.delay_slack * max_ul, tree_.tree_delay(*g_));
+}
+
+JoinResult DcdmTree::join(graph::NodeId s) {
+  SCMP_EXPECTS(g_->valid(s));
+  JoinResult result;
+  if (tree_.is_member(s)) return result;  // duplicate join
+  result.is_new_member = true;
+  if (tree_.on_tree(s)) {
+    // s is already a relay on the tree: membership flips, topology unchanged.
+    result.already_on_tree = true;
+    tree_.set_member(s, true);
+    return result;
+  }
+
+  const double bound = delay_bound_for(s);
+
+  // Candidate selection over the 2m precomputed paths (P_sl and P_lc from
+  // every on-tree node t to s): cheapest feasible, ties broken by smaller
+  // multicast delay, then by smaller graft-node id (deterministic).
+  struct Candidate {
+    double cost = 0.0;
+    double ml = 0.0;
+    graph::NodeId graft = graph::kInvalidNode;
+    std::vector<graph::NodeId> path;
+  };
+  Candidate best;
+  bool have_best = false;
+  auto consider = [&](graph::NodeId t, std::vector<graph::NodeId> path) {
+    if (path.empty()) return;
+    const double pd = graph::path_weight(*g_, path, graph::Metric::kDelay);
+    const double ml = tree_.node_delay(*g_, t) + pd;
+    if (ml > bound) return;
+    const double pc = graph::path_weight(*g_, path, graph::Metric::kCost);
+    const bool better =
+        !have_best || pc < best.cost ||
+        (pc == best.cost && (ml < best.ml ||
+                             (ml == best.ml && t < best.graft)));
+    if (better) {
+      best = Candidate{pc, ml, t, std::move(path)};
+      have_best = true;
+    }
+  };
+  for (graph::NodeId t : tree_.on_tree_nodes()) {
+    consider(t, paths_->sl_path(t, s));
+    consider(t, paths_->lc_path(t, s));
+  }
+  // The shortest-delay path from the root is always feasible
+  // (ml = ul(s) <= slack * max_ul <= bound), so a candidate must exist.
+  SCMP_ASSERT(have_best);
+
+  // Snapshot parents to detect loop-elimination restructuring.
+  std::vector<graph::NodeId> old_parent(
+      static_cast<std::size_t>(g_->num_nodes()), graph::kInvalidNode);
+  std::vector<char> was_on_tree(static_cast<std::size_t>(g_->num_nodes()), 0);
+  for (graph::NodeId v : tree_.on_tree_nodes()) {
+    was_on_tree[static_cast<std::size_t>(v)] = 1;
+    old_parent[static_cast<std::size_t>(v)] = tree_.parent(v);
+  }
+
+  tree_.graft_path(best.path);
+  tree_.set_member(s, true);
+  result.graft_path = std::move(best.path);
+
+  for (graph::NodeId v = 0; v < g_->num_nodes(); ++v) {
+    if (!was_on_tree[static_cast<std::size_t>(v)]) continue;
+    if (!tree_.on_tree(v)) {
+      result.removed_nodes.push_back(v);
+      result.restructured = true;
+    } else if (tree_.parent(v) != old_parent[static_cast<std::size_t>(v)]) {
+      result.restructured = true;
+    }
+  }
+  SCMP_ENSURES(tree_.validate(*g_));
+  return result;
+}
+
+LeaveResult DcdmTree::leave(graph::NodeId s) {
+  SCMP_EXPECTS(g_->valid(s));
+  LeaveResult result;
+  if (!tree_.is_member(s)) return result;
+  result.was_member = true;
+  tree_.set_member(s, false);
+
+  std::vector<char> was_on_tree(static_cast<std::size_t>(g_->num_nodes()), 0);
+  for (graph::NodeId v : tree_.on_tree_nodes())
+    was_on_tree[static_cast<std::size_t>(v)] = 1;
+
+  tree_.prune_upward_from(s);
+
+  for (graph::NodeId v = 0; v < g_->num_nodes(); ++v) {
+    if (was_on_tree[static_cast<std::size_t>(v)] && !tree_.on_tree(v))
+      result.removed_nodes.push_back(v);
+  }
+  SCMP_ENSURES(tree_.validate(*g_));
+  return result;
+}
+
+}  // namespace scmp::core

@@ -1,0 +1,76 @@
+// DCDM — Delay Constrained Dynamic Multicast (paper §III-D, and its
+// reference [20]): the incremental tree algorithm SCMP's m-router runs.
+//
+// On a join of member s the algorithm considers, for every node t already on
+// the tree, the two precomputed paths P_lc(t,s) (least cost) and P_sl(t,s)
+// (shortest delay) — 2m candidates — and grafts the cheapest one that keeps
+// s's multicast delay within the delay bound. If the chosen path re-enters
+// the tree, the loop is broken by re-parenting the re-entered node and
+// pruning its old upstream branch (Fig. 5). On a leave, the branch to the
+// leaving member is pruned and the rest of the tree is left intact.
+//
+// The delay bound generalises the paper's dynamic rule with a slack factor
+// for Fig. 7's three constraint levels:
+//   bound = max(slack * max_{v in members} ul(v), current tree delay)
+// slack = 1 reproduces the paper's rule exactly (the "tightest" level:
+// a new member with ul > tree delay raises the bound to its ul, i.e. takes
+// its shortest-delay path); slack = infinity is the "loosest" level (pure
+// greedy cost minimisation).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/multicast_tree.hpp"
+#include "graph/paths.hpp"
+
+namespace scmp::core {
+
+struct DcdmConfig {
+  /// Delay-constraint slack: 1 = tightest, infinity = loosest (see above).
+  double delay_slack = 1.0;
+};
+
+inline constexpr double kLoosest = std::numeric_limits<double>::infinity();
+
+struct JoinResult {
+  bool is_new_member = false;    ///< false when s was already a member
+  bool already_on_tree = false;  ///< s was a relay node; no graft needed
+  std::vector<graph::NodeId> graft_path;  ///< chosen path (graft node first)
+  bool restructured = false;     ///< loop elimination re-parented some node
+  std::vector<graph::NodeId> removed_nodes;  ///< pruned by loop elimination
+};
+
+struct LeaveResult {
+  bool was_member = false;
+  std::vector<graph::NodeId> removed_nodes;  ///< pruned branch (includes s when removed)
+};
+
+class DcdmTree {
+ public:
+  DcdmTree(const graph::Graph& g, const graph::AllPairsPaths& paths,
+           graph::NodeId root, DcdmConfig cfg = {});
+
+  JoinResult join(graph::NodeId s);
+  LeaveResult leave(graph::NodeId s);
+
+  const graph::MulticastTree& tree() const { return tree_; }
+  graph::NodeId root() const { return tree_.root(); }
+
+  /// Unicast delay ul(v): shortest-delay distance from the root.
+  double unicast_delay(graph::NodeId v) const;
+  /// Current delay bound the next join must respect.
+  double delay_bound_for(graph::NodeId joining) const;
+
+  double tree_cost() const { return tree_.tree_cost(*g_); }
+  double tree_delay() const { return tree_.tree_delay(*g_); }
+
+ private:
+  const graph::Graph* g_;
+  const graph::AllPairsPaths* paths_;
+  DcdmConfig cfg_;
+  graph::MulticastTree tree_;
+};
+
+}  // namespace scmp::core

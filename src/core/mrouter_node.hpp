@@ -1,0 +1,84 @@
+// The complete m-router device model (paper §II-B, Fig. 2(b)): the SCMP
+// protocol engine with its service database, the n x n sandwich switching
+// fabric, and the multiprocessor compute pool, wired together.
+//
+//   * sync_fabric() maps every active group onto a fabric session: the
+//     sources the m-router has seen occupy input ports, the fabric merges
+//     them (PN -> CCN) and the DN delivers the merged stream to the output
+//     port that roots the group's multicast tree in the domain.
+//   * fail_over_to() performs the hot-standby failover with all per-group
+//     tree rebuilds running on the compute pool.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "core/compute_pool.hpp"
+#include "core/scheduler.hpp"
+#include "core/scmp.hpp"
+#include "fabric/mrouter_fabric.hpp"
+
+namespace scmp::core {
+
+class MRouterNode {
+ public:
+  /// `fabric_ports` must be a power of two; `threads` <= 0 selects the
+  /// hardware concurrency.
+  MRouterNode(sim::Network& net, igmp::IgmpDomain& igmp, Scmp::Config cfg,
+              int fabric_ports = 64, int threads = 0);
+
+  Scmp& protocol() { return scmp_; }
+  const Scmp& protocol() const { return scmp_; }
+  fabric::MRouterFabric& fabric() { return fabric_; }
+  const fabric::MRouterFabric& fabric() const { return fabric_; }
+  const TreeComputePool& pool() const { return pool_; }
+
+  /// Reprograms the switching fabric from the protocol's current sessions:
+  /// one fabric session per active group that has known senders, each sender
+  /// on its own input port (assigned in deterministic order). Groups beyond
+  /// the fabric's port capacity are reported back as unplaced.
+  struct FabricSync {
+    int sessions_placed = 0;
+    std::vector<GroupId> unplaced;
+  };
+  FabricSync sync_fabric();
+
+  /// Input port carrying `sender`'s uplink for `group` in the current fabric
+  /// configuration, or -1 when not placed.
+  int input_port_of(GroupId group, graph::NodeId sender) const;
+
+  /// Output port rooting `group`'s tree, per the current configuration.
+  int output_port_of(GroupId group) const {
+    return fabric_.output_port(group);
+  }
+
+  /// Hot-standby failover with parallel tree rebuilds (§II-B + §V).
+  void fail_over_to(graph::NodeId standby) {
+    scmp_.fail_over_to(standby, &pool_);
+  }
+
+  /// Makes data transiting the m-router pay for its path through the
+  /// sandwich fabric: `per_stage_seconds` per 2x2 switch stage (and merge
+  /// level), looked up from the current fabric configuration by the sending
+  /// router's input port. Call after sync_fabric(); senders not placed on
+  /// the fabric pay the PN+DN baseline depth.
+  void enable_fabric_transit(double per_stage_seconds);
+
+  /// The WFQ scheduler of an egress port (created lazily at the port's line
+  /// rate): groups sharing a port get weighted bandwidth shares (§II-A's
+  /// traffic scheduling / bandwidth management duties).
+  WfqScheduler& port_scheduler(int port);
+  /// Sets the line rate used for ports whose scheduler is created later.
+  void set_port_capacity(double bps) { port_capacity_bps_ = bps; }
+
+ private:
+  graph::AllPairsPaths paths_;
+  TreeComputePool pool_;
+  Scmp scmp_;
+  fabric::MRouterFabric fabric_;
+  std::map<GroupId, std::map<graph::NodeId, int>> input_ports_;
+  double port_capacity_bps_ = 1e9;
+  std::map<int, WfqScheduler> schedulers_;
+};
+
+}  // namespace scmp::core

@@ -1,0 +1,87 @@
+#include "core/placement.hpp"
+
+#include <algorithm>
+
+namespace scmp::core {
+
+const char* to_string(PlacementRule rule) {
+  switch (rule) {
+    case PlacementRule::kMinAverageDelay: return "min-avg-delay";
+    case PlacementRule::kMaxDegree: return "max-degree";
+    case PlacementRule::kDiameterMidpoint: return "diameter-midpoint";
+    case PlacementRule::kFirstNode: return "first-node";
+  }
+  return "unknown";
+}
+
+namespace {
+
+graph::NodeId min_average_delay(const graph::Graph& g,
+                                const graph::AllPairsPaths& paths) {
+  graph::NodeId best = 0;
+  double best_sum = graph::kUnreachable;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    double sum = 0.0;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v)
+      if (v != u) sum += paths.sl_delay(u, v);
+    if (sum < best_sum) {
+      best_sum = sum;
+      best = u;
+    }
+  }
+  return best;
+}
+
+graph::NodeId max_degree(const graph::Graph& g) {
+  graph::NodeId best = 0;
+  for (graph::NodeId u = 1; u < g.num_nodes(); ++u)
+    if (g.degree(u) > g.degree(best)) best = u;
+  return best;
+}
+
+graph::NodeId diameter_midpoint(const graph::Graph& g,
+                                const graph::AllPairsPaths& paths) {
+  // Find the endpoint pair realising the delay diameter.
+  graph::NodeId a = 0, b = 0;
+  double diameter = -1.0;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (graph::NodeId v = u + 1; v < g.num_nodes(); ++v) {
+      const double d = paths.sl_delay(u, v);
+      if (d > diameter) {
+        diameter = d;
+        a = u;
+        b = v;
+      }
+    }
+  }
+  // Midpoint: the node on the diameter path minimising its worse distance to
+  // the two endpoints.
+  const std::vector<graph::NodeId> path = paths.sl_path(a, b);
+  graph::NodeId best = a;
+  double best_ecc = graph::kUnreachable;
+  for (graph::NodeId v : path) {
+    const double ecc = std::max(paths.sl_delay(v, a), paths.sl_delay(v, b));
+    if (ecc < best_ecc) {
+      best_ecc = ecc;
+      best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+graph::NodeId place_mrouter(const graph::Graph& g,
+                            const graph::AllPairsPaths& paths,
+                            PlacementRule rule) {
+  SCMP_EXPECTS(g.num_nodes() > 0);
+  switch (rule) {
+    case PlacementRule::kMinAverageDelay: return min_average_delay(g, paths);
+    case PlacementRule::kMaxDegree: return max_degree(g);
+    case PlacementRule::kDiameterMidpoint: return diameter_midpoint(g, paths);
+    case PlacementRule::kFirstNode: return 0;
+  }
+  return 0;
+}
+
+}  // namespace scmp::core

@@ -1,0 +1,30 @@
+// m-router placement heuristics (paper §IV-A): there is no single best
+// location, but three rules work well in most cases:
+//   Rule 1 — pick the node with the least average shortest-path delay to all
+//            other nodes;
+//   Rule 2 — pick the node with the largest degree;
+//   Rule 3 — pick a node lying on a path whose delay equals the graph
+//            diameter (we take the node of that path whose eccentricity
+//            along it is smallest, i.e. the path's midpoint).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "graph/paths.hpp"
+
+namespace scmp::core {
+
+enum class PlacementRule {
+  kMinAverageDelay,  ///< rule 1
+  kMaxDegree,        ///< rule 2
+  kDiameterMidpoint, ///< rule 3
+  kFirstNode,        ///< naive baseline (node 0) for the ablation
+};
+
+const char* to_string(PlacementRule rule);
+
+/// Chooses an m-router location; deterministic (ties broken by node id).
+graph::NodeId place_mrouter(const graph::Graph& g,
+                            const graph::AllPairsPaths& paths,
+                            PlacementRule rule);
+
+}  // namespace scmp::core

@@ -1,0 +1,58 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace scmp::core {
+
+WfqScheduler::WfqScheduler(double capacity_bps)
+    : capacity_bps_(capacity_bps) {
+  SCMP_EXPECTS(capacity_bps > 0.0);
+}
+
+void WfqScheduler::set_weight(GroupId group, double weight) {
+  SCMP_EXPECTS(weight > 0.0);
+  weights_[group] = weight;
+}
+
+double WfqScheduler::weight_of(GroupId group) const {
+  const auto it = weights_.find(group);
+  return it == weights_.end() ? 1.0 : it->second;
+}
+
+void WfqScheduler::enqueue(GroupId group, std::uint64_t uid,
+                           std::size_t bytes, double now) {
+  SCMP_EXPECTS(bytes > 0);
+  // Virtual time tracks real time loosely: an idle scheduler fast-forwards
+  // so a newly-busy group does not inherit stale credit.
+  if (heap_.empty()) virtual_time_ = std::max(virtual_time_, now);
+
+  const double start =
+      std::max(virtual_time_, last_finish_[group]);
+  const double finish =
+      start + static_cast<double>(bytes) / weight_of(group);
+  last_finish_[group] = finish;
+  heap_.push(Entry{finish, group, uid, bytes, now, next_seq_++});
+}
+
+std::optional<WfqScheduler::Scheduled> WfqScheduler::dequeue() {
+  if (heap_.empty()) return std::nullopt;
+  const Entry e = heap_.top();
+  heap_.pop();
+  virtual_time_ = std::max(virtual_time_, e.virtual_finish);
+  served_[e.group] += e.bytes;
+
+  Scheduled s;
+  s.group = e.group;
+  s.uid = e.uid;
+  s.bytes = e.bytes;
+  // The port cannot start before the packet arrived or before it finished
+  // the previous transmission.
+  port_free_at_ = std::max(port_free_at_, e.arrival) +
+                  static_cast<double>(e.bytes) * 8.0 / capacity_bps_;
+  s.dequeue_time = port_free_at_;
+  return s;
+}
+
+}  // namespace scmp::core

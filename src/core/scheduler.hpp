@@ -1,0 +1,83 @@
+// Traffic scheduling and transmission bandwidth management at the m-router
+// (paper §II-A lists both among the m-router's service-related tasks).
+//
+// Weighted fair queueing over the groups sharing an m-router egress port:
+// each group holds a configurable weight (the knob an ISP bills by); packets
+// are served in virtual-finish-time order, giving each backlogged group a
+// bandwidth share proportional to its weight regardless of packet sizes or
+// arrival patterns. The implementation is start-time-updated virtual-clock
+// WFQ with deterministic tie-breaking.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <queue>
+
+namespace scmp::core {
+
+using GroupId = int;
+
+class WfqScheduler {
+ public:
+  /// `capacity_bps` is the port's line rate; it converts served bytes into
+  /// real dequeue times.
+  explicit WfqScheduler(double capacity_bps);
+
+  /// Sets a group's weight (> 0); unset groups weigh 1.
+  void set_weight(GroupId group, double weight);
+  double weight_of(GroupId group) const;
+
+  /// Queues one packet. `now` is the arrival (enqueue) time in seconds.
+  void enqueue(GroupId group, std::uint64_t uid, std::size_t bytes,
+               double now);
+
+  struct Scheduled {
+    GroupId group = -1;
+    std::uint64_t uid = 0;
+    std::size_t bytes = 0;
+    /// Time the packet finishes transmitting on the port, given the line
+    /// rate and everything scheduled ahead of it.
+    double dequeue_time = 0.0;
+  };
+
+  /// Serves the next packet in virtual-finish order; nullopt when idle.
+  std::optional<Scheduled> dequeue();
+
+  std::size_t pending() const { return heap_.size(); }
+  bool idle() const { return heap_.empty(); }
+
+  /// Bytes served per group since construction (fairness accounting, which
+  /// also feeds the database's billing records).
+  const std::map<GroupId, std::uint64_t>& served_bytes() const {
+    return served_;
+  }
+
+ private:
+  struct Entry {
+    double virtual_finish = 0.0;
+    GroupId group = -1;
+    std::uint64_t uid = 0;
+    std::size_t bytes = 0;
+    double arrival = 0.0;   ///< real enqueue time
+    std::uint64_t seq = 0;  ///< arrival order, breaks exact ties
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.virtual_finish != b.virtual_finish)
+        return a.virtual_finish > b.virtual_finish;
+      return a.seq > b.seq;
+    }
+  };
+
+  double capacity_bps_;
+  double virtual_time_ = 0.0;
+  double port_free_at_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::map<GroupId, double> weights_;
+  std::map<GroupId, double> last_finish_;  ///< per-group virtual finish
+  std::map<GroupId, std::uint64_t> served_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+}  // namespace scmp::core

@@ -1,0 +1,665 @@
+#include "core/scmp.hpp"
+
+#include <algorithm>
+
+#include "core/tree_packet.hpp"
+#include "util/log.hpp"
+
+namespace scmp::core {
+
+Scmp::Scmp(sim::Network& net, igmp::IgmpDomain& igmp, Config cfg)
+    : MulticastProtocol(net, igmp), cfg_(cfg), paths_(net.graph()) {
+  mrouters_ = cfg.mrouters.empty()
+                  ? std::vector<graph::NodeId>{cfg.mrouter}
+                  : cfg.mrouters;
+  for (graph::NodeId m : mrouters_) SCMP_EXPECTS(net.graph().valid(m));
+  {
+    auto sorted = mrouters_;
+    std::sort(sorted.begin(), sorted.end());
+    SCMP_EXPECTS(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                 sorted.end());
+  }
+  entries_.resize(static_cast<std::size_t>(net.graph().num_nodes()));
+  cleared_version_.resize(static_cast<std::size_t>(net.graph().num_nodes()));
+}
+
+graph::NodeId Scmp::mrouter_of(GroupId group) const {
+  // The published group -> m-router mapping every DR knows (§II-A): a static
+  // function of the group id over the configured m-router set.
+  const auto idx = static_cast<std::size_t>(group) % mrouters_.size();
+  return mrouters_[idx];
+}
+
+DcdmTree& Scmp::tree_for(GroupId group) {
+  auto it = trees_.find(group);
+  if (it == trees_.end()) {
+    it = trees_
+             .emplace(group, DcdmTree(net().graph(), paths_,
+                                      mrouter_of(group), cfg_.dcdm))
+             .first;
+  }
+  return it->second;
+}
+
+const DcdmTree* Scmp::group_tree(GroupId group) const {
+  const auto it = trees_.find(group);
+  return it == trees_.end() ? nullptr : &it->second;
+}
+
+std::vector<GroupId> Scmp::active_groups() const {
+  std::vector<GroupId> out;
+  out.reserve(trees_.size());
+  for (const auto& [group, tree] : trees_) out.push_back(group);
+  return out;
+}
+
+std::set<graph::NodeId> Scmp::senders_of(GroupId group) const {
+  const auto it = senders_.find(group);
+  return it == senders_.end() ? std::set<graph::NodeId>{} : it->second;
+}
+
+Scmp::Entry* Scmp::mutable_entry_at(graph::NodeId router, GroupId group) {
+  auto& groups = entries_[static_cast<std::size_t>(router)];
+  const auto it = groups.find(group);
+  return it == groups.end() ? nullptr : &it->second;
+}
+
+const Scmp::Entry* Scmp::entry_at(graph::NodeId router, GroupId group) const {
+  const auto& groups = entries_[static_cast<std::size_t>(router)];
+  const auto it = groups.find(group);
+  return it == groups.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Designated-router side (paper §III-B/§III-C pseudo-code).
+// ---------------------------------------------------------------------------
+
+void Scmp::interface_joined(graph::NodeId router, GroupId group, int iface,
+                            bool first_iface) {
+  const graph::NodeId root = mrouter_of(group);
+  if (router == root) {
+    local_membership_change(group, /*joined=*/true);
+    return;
+  }
+  Entry* e = mutable_entry_at(router, group);
+  if (e != nullptr) {
+    e->downstream_ifaces.insert(iface);
+    if (!first_iface) return;
+    // Already on the tree as a relay: the tree does not change, but the
+    // m-router needs the JOIN for accounting and billing (paper §III-B).
+  }
+  sim::Packet join;
+  join.type = sim::PacketType::kJoin;
+  join.group = group;
+  join.src = router;
+  join.dst = root;
+  net().send_unicast(router, std::move(join));
+}
+
+void Scmp::interface_left(graph::NodeId router, GroupId group, int iface,
+                          bool last_iface) {
+  const graph::NodeId root = mrouter_of(group);
+  if (router == root) {
+    if (last_iface) local_membership_change(group, /*joined=*/false);
+    return;
+  }
+  Entry* e = mutable_entry_at(router, group);
+  if (e != nullptr) e->downstream_ifaces.erase(iface);
+  if (!last_iface) return;  // other interfaces keep the DR a member
+
+  if (e != nullptr && e->downstream_routers.empty()) {
+    // Became a leaf: prune upstream and tell the m-router (paper §III-C).
+    send_prune_and_leave(router, group);
+    return;
+  }
+  // Still a relay (downstream routers remain) or the entry has not been
+  // installed yet: only the LEAVE goes out.
+  sim::Packet leave;
+  leave.type = sim::PacketType::kLeave;
+  leave.group = group;
+  leave.src = router;
+  leave.dst = root;
+  net().send_unicast(router, std::move(leave));
+}
+
+void Scmp::send_prune_and_leave(graph::NodeId at, GroupId group) {
+  Entry* e = mutable_entry_at(at, group);
+  SCMP_EXPECTS(e != nullptr);
+  const graph::NodeId up = e->upstream;
+  entries_[static_cast<std::size_t>(at)].erase(group);
+
+  if (up != graph::kInvalidNode) {
+    sim::Packet prune;
+    prune.type = sim::PacketType::kPrune;
+    prune.group = group;
+    prune.src = at;
+    net().send_link(at, up, prune);
+  }
+  sim::Packet leave;
+  leave.type = sim::PacketType::kLeave;
+  leave.group = group;
+  leave.src = at;
+  leave.dst = mrouter_of(group);
+  net().send_unicast(at, std::move(leave));
+}
+
+void Scmp::local_membership_change(GroupId group, bool joined) {
+  const double now = net().now();
+  const graph::NodeId root = mrouter_of(group);
+  if (joined) {
+    db_.start_session(group, now);
+    db_.record_join(group, root, now);
+    tree_for(group).join(root);
+  } else {
+    db_.record_leave(group, root, now);
+    tree_for(group).leave(root);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// m-router side (paper §III-D/§III-E).
+// ---------------------------------------------------------------------------
+
+void Scmp::mrouter_handle_join(GroupId group, graph::NodeId requester) {
+  const double now = net().now();
+  db_.start_session(group, now);
+  db_.record_join(group, requester, now);
+
+  DcdmTree& t = tree_for(group);
+
+  // Snapshot the children sets so a loop-eliminating join can be installed
+  // as a minimal diff (BRANCH + targeted detaches) instead of a full tree.
+  std::vector<std::vector<graph::NodeId>> old_children;
+  if (!cfg_.always_full_tree) {
+    old_children.resize(static_cast<std::size_t>(net().graph().num_nodes()));
+    for (graph::NodeId v : t.tree().on_tree_nodes())
+      old_children[static_cast<std::size_t>(v)] = t.tree().children(v);
+  }
+
+  const JoinResult res = t.join(requester);
+  if (!res.is_new_member || res.already_on_tree) return;  // no topology change
+
+  const std::uint64_t version = next_install_version(group);
+  if (cfg_.always_full_tree) {
+    install_full_tree(group, res.removed_nodes, version);
+    return;
+  }
+  if (res.restructured) {
+    // Routers that fell off the tree drop their entries; surviving routers
+    // that lost a child (the re-parented node or a pruned chain head) detach
+    // it. Child *additions* all lie on the new branch, which the BRANCH
+    // packet installs, including the re-parented node's new upstream.
+    const graph::NodeId root = mrouter_of(group);
+    for (graph::NodeId r : res.removed_nodes)
+      send_clear(group, r, {}, version);
+    for (graph::NodeId v = 0; v < net().graph().num_nodes(); ++v) {
+      const auto& before = old_children[static_cast<std::size_t>(v)];
+      if (before.empty() || v == root || !t.tree().on_tree(v)) continue;
+      const auto& after = t.tree().children(v);
+      for (graph::NodeId c : before) {
+        if (std::find(after.begin(), after.end(), c) == after.end())
+          send_clear(group, v, {c}, version);
+      }
+    }
+  }
+  install_branch(group, requester, version);
+}
+
+void Scmp::send_clear(GroupId group, graph::NodeId target,
+                      std::vector<graph::NodeId> detach,
+                      std::uint64_t version) {
+  const graph::NodeId root = mrouter_of(group);
+  if (target == root) return;  // the anchor holds no Entry for its group
+  sim::Packet clear;
+  clear.type = sim::PacketType::kClear;
+  clear.group = group;
+  clear.src = root;
+  clear.dst = target;
+  clear.uid = version;
+  clear.path = std::move(detach);  // empty = drop entry, else detach children
+  net().send_unicast(root, std::move(clear));
+}
+
+void Scmp::set_session_idle_expiry(double idle_seconds) {
+  SCMP_EXPECTS(idle_seconds >= 0.0);
+  session_idle_expiry_ = idle_seconds;
+}
+
+void Scmp::mrouter_handle_leave(GroupId group, graph::NodeId requester) {
+  db_.record_leave(group, requester, net().now());
+  tree_for(group).leave(requester);
+  // The physical prune travels hop-by-hop from the leaving DR (§III-C); the
+  // m-router only updates its authoritative copy.
+
+  // Session lifecycle policy (§II-C): an abandoned session expires after the
+  // configured idle time unless someone rejoins in the meantime.
+  if (session_idle_expiry_ > 0.0 && db_.members_of(group).empty()) {
+    const double emptied_at = net().now();
+    net().queue().schedule_in(session_idle_expiry_, [this, group,
+                                                     emptied_at]() {
+      if (!db_.session_active(group)) return;
+      if (!db_.members_of(group).empty()) return;  // someone rejoined
+      // Still empty: confirm no membership event happened since.
+      for (auto it = db_.membership_log().rbegin();
+           it != db_.membership_log().rend(); ++it) {
+        if (it->group != group) continue;
+        if (it->time > emptied_at) return;  // churned meanwhile
+        break;
+      }
+      end_group_session(group);
+    });
+  }
+}
+
+void Scmp::install_branch(GroupId group, graph::NodeId member,
+                          std::uint64_t version) {
+  const graph::MulticastTree& tree = tree_for(group).tree();
+  SCMP_EXPECTS(tree.on_tree(member));
+  const std::vector<graph::NodeId> path = tree.path_from_root(member);
+  if (path.size() < 2) return;  // member is the anchoring m-router itself
+  for (std::size_t i = 1; i < path.size(); ++i)
+    ever_installed_[group].insert(path[i]);
+
+  sim::Packet branch;
+  branch.type = sim::PacketType::kBranch;
+  branch.group = group;
+  branch.src = path.front();
+  branch.uid = version;
+  branch.path = path;
+  branch.size_bytes = sim::kControlPacketBytes + 4 * path.size();
+  net().send_link(path.front(), path[1], std::move(branch));
+}
+
+void Scmp::install_full_tree(GroupId group,
+                             const std::vector<graph::NodeId>& removed,
+                             std::uint64_t version) {
+  const graph::MulticastTree& tree = tree_for(group).tree();
+  const graph::NodeId root = mrouter_of(group);
+  for (graph::NodeId v : tree.on_tree_nodes())
+    if (v != root) ever_installed_[group].insert(v);
+
+  // Routers that fell off the tree drop their entries.
+  for (graph::NodeId r : removed) {
+    SCMP_ASSERT(!tree.on_tree(r));
+    send_clear(group, r, {}, version);
+  }
+
+  // One self-routing TREE packet per subtree hanging off the root (§III-E).
+  for (graph::NodeId child : tree.children(root)) {
+    const TreeWords words = encode_subtree(tree, child);
+    sim::Packet tp;
+    tp.type = sim::PacketType::kTree;
+    tp.group = group;
+    tp.src = root;
+    tp.uid = version;
+    tp.payload = to_bytes(words);
+    tp.size_bytes = sim::kControlPacketBytes + tp.payload.size();
+    net().send_link(root, child, std::move(tp));
+  }
+}
+
+void Scmp::end_group_session(GroupId group) {
+  const auto it = trees_.find(group);
+  if (it == trees_.end()) return;
+  const graph::NodeId root = mrouter_of(group);
+  const std::uint64_t version = next_install_version(group);
+  for (graph::NodeId v : ever_installed_[group]) {
+    if (v != root) send_clear(group, v, {}, version);
+  }
+  ever_installed_.erase(group);
+  senders_.erase(group);
+  trees_.erase(it);
+  if (db_.session_active(group)) db_.end_session(group, net().now());
+}
+
+void Scmp::refresh_group(GroupId group) {
+  const auto it = trees_.find(group);
+  if (it == trees_.end()) return;
+  const graph::NodeId root = mrouter_of(group);
+  const std::uint64_t version = next_install_version(group);
+  // Anti-entropy: routers that held install state since the last refresh but
+  // are off the current tree get cleared; the tree itself is re-announced.
+  const graph::MulticastTree& tree = it->second.tree();
+  std::set<graph::NodeId> current;
+  for (graph::NodeId v : tree.on_tree_nodes()) current.insert(v);
+  // ever_installed_ stays cumulative: without acknowledgements the m-router
+  // cannot know a CLEAR was applied (it may have lost a version race), so
+  // every refresh re-clears all ever-installed off-tree routers.
+  for (graph::NodeId v : ever_installed_[group]) {
+    if (v != root && !current.contains(v)) send_clear(group, v, {}, version);
+  }
+  install_full_tree(group, {}, version);
+}
+
+void Scmp::rebuild_trees(const std::vector<GroupId>& groups,
+                         const TreeComputePool* pool) {
+  // Rebuild the given groups' trees from the membership database — on the
+  // compute pool's worker threads when one is provided (per-group rebuilds
+  // are independent, §II-B), serially otherwise. Join order is the
+  // database's sorted member order in both paths, so the two produce
+  // identical trees. Groups are partitioned by their anchoring m-router.
+  std::map<GroupId, DcdmTree> rebuilt;
+  if (pool != nullptr) {
+    std::map<graph::NodeId, std::vector<GroupMembership>> jobs_by_root;
+    for (GroupId group : groups) {
+      GroupMembership gm;
+      gm.group = group;
+      const auto& members = db_.members_of(group);
+      gm.join_order.assign(members.begin(), members.end());
+      jobs_by_root[mrouter_of(group)].push_back(std::move(gm));
+    }
+    for (const auto& [root, jobs] : jobs_by_root) {
+      auto built = pool->build_trees(root, jobs, cfg_.dcdm);
+      for (auto& [group, tree] : built)
+        rebuilt.emplace(group, std::move(tree));
+    }
+  } else {
+    for (GroupId group : groups) {
+      DcdmTree fresh(net().graph(), paths_, mrouter_of(group), cfg_.dcdm);
+      for (graph::NodeId member : db_.members_of(group)) fresh.join(member);
+      rebuilt.emplace(group, std::move(fresh));
+    }
+  }
+
+  for (GroupId group : groups) {
+    auto it = trees_.find(group);
+    SCMP_ASSERT(it != trees_.end());
+    DcdmTree& old_tree = it->second;
+    DcdmTree& fresh = rebuilt.at(group);
+    const graph::NodeId root = mrouter_of(group);
+    const std::uint64_t version = next_install_version(group);
+    // Clear stale state everywhere the new tree will not overwrite it;
+    // versioning makes this safe against racing older installs.
+    for (graph::NodeId v : ever_installed_[group]) {
+      if (v == root || fresh.tree().on_tree(v)) continue;
+      send_clear(group, v, {}, version);
+    }
+    old_tree = std::move(fresh);
+    install_full_tree(group, {}, version);
+  }
+}
+
+void Scmp::fail_over(graph::NodeId failed, graph::NodeId standby,
+                     const TreeComputePool* pool) {
+  SCMP_EXPECTS(net().graph().valid(standby));
+  if (failed == standby) return;
+  const auto it = std::find(mrouters_.begin(), mrouters_.end(), failed);
+  SCMP_EXPECTS(it != mrouters_.end());
+  SCMP_EXPECTS(std::find(mrouters_.begin(), mrouters_.end(), standby) ==
+               mrouters_.end());
+  *it = standby;  // the published mapping now points at the standby
+
+  // Groups anchored at the failed m-router get rebuilt at the standby.
+  std::vector<GroupId> affected;
+  for (const auto& [group, tree] : trees_) {
+    if (mrouter_of(group) == standby) {
+      affected.push_back(group);
+      // The standby may have been an ordinary i-router relay for the group;
+      // as its new root it forwards from the authoritative tree instead.
+      entries_[static_cast<std::size_t>(standby)].erase(group);
+    }
+  }
+  rebuild_trees(affected, pool);
+}
+
+void Scmp::on_topology_change() {
+  // The m-routers' link-state view reconverged: refresh the global path
+  // database (P_sl / P_lc), then recompute and reinstall every group tree.
+  paths_ = graph::AllPairsPaths(net().graph());
+  rebuild_trees(active_groups(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// i-router side.
+// ---------------------------------------------------------------------------
+
+void Scmp::ir_handle_tree(graph::NodeId at, const sim::Packet& pkt,
+                          graph::NodeId from) {
+  SCMP_EXPECTS(from != graph::kInvalidNode);
+  // Install-version gate: never let an older install overwrite newer state
+  // or resurrect a cleared entry.
+  if (const Entry* existing = entry_at(at, pkt.group);
+      existing != nullptr && existing->version > pkt.uid)
+    return;
+  if (cleared_version_[static_cast<std::size_t>(at)].count(pkt.group) &&
+      cleared_version_[static_cast<std::size_t>(at)][pkt.group] > pkt.uid)
+    return;
+  const TreeWords words = from_bytes(pkt.payload);
+  if (!is_well_formed(words)) {
+    log_debug("scmp: router ", at, " dropped malformed TREE packet for g",
+              pkt.group);
+    return;
+  }
+
+  Entry fresh;
+  fresh.upstream = from;
+  fresh.version = pkt.uid;
+  const auto ifaces = igmp().member_ifaces(at, pkt.group);
+  fresh.downstream_ifaces.insert(ifaces.begin(), ifaces.end());
+
+  for (const TreeChild& child : split_tree_packet(words)) {
+    fresh.downstream_routers.insert(child.id);
+    sim::Packet sub;
+    sub.type = sim::PacketType::kTree;
+    sub.group = pkt.group;
+    sub.src = pkt.src;
+    sub.uid = pkt.uid;  // the split keeps the install version
+    sub.payload = to_bytes(child.subpacket);
+    sub.size_bytes = sim::kControlPacketBytes + sub.payload.size();
+    net().send_link(at, child.id, std::move(sub));
+  }
+  entries_[static_cast<std::size_t>(at)][pkt.group] = std::move(fresh);
+}
+
+void Scmp::ir_handle_branch(graph::NodeId at, const sim::Packet& pkt,
+                            graph::NodeId from) {
+  SCMP_EXPECTS(from != graph::kInvalidNode);
+  const auto& path = pkt.path;
+  const auto pos = std::find(path.begin(), path.end(), at);
+  SCMP_ASSERT(pos != path.end());
+
+  Entry* e = mutable_entry_at(at, pkt.group);
+  if (e != nullptr && e->version > pkt.uid) return;  // overtaken install
+  auto& tombs = cleared_version_[static_cast<std::size_t>(at)];
+  if (e == nullptr && tombs.count(pkt.group) &&
+      tombs[pkt.group] > pkt.uid)
+    return;  // would resurrect a cleared entry
+  if (e == nullptr) {
+    Entry fresh;
+    e = &(entries_[static_cast<std::size_t>(at)][pkt.group] = std::move(fresh));
+  }
+  e->version = std::max(e->version, pkt.uid);
+  // The BRANCH always arrives over this node's (possibly new, after a loop
+  // elimination) tree edge toward the root, so the upstream is authoritative.
+  e->upstream = from;
+  if (pos + 1 != path.end()) {
+    e->downstream_routers.insert(*(pos + 1));
+    net().send_link(at, *(pos + 1), pkt);
+    return;
+  }
+
+  // Terminal hop: the new member's DR attaches its marked interfaces.
+  const auto ifaces = igmp().member_ifaces(at, pkt.group);
+  e->downstream_ifaces.insert(ifaces.begin(), ifaces.end());
+  if (e->downstream_ifaces.empty() && e->downstream_routers.empty()) {
+    // The hosts already left while the BRANCH was in flight: undo.
+    send_prune_and_leave(at, pkt.group);
+  }
+}
+
+void Scmp::ir_handle_prune(graph::NodeId at, const sim::Packet& pkt,
+                           graph::NodeId from) {
+  SCMP_EXPECTS(from != graph::kInvalidNode);
+  if (at == mrouter_of(pkt.group)) {
+    // The authoritative copy is updated by the LEAVE message; the PRUNE
+    // reaching the root needs no further action.
+    return;
+  }
+  Entry* e = mutable_entry_at(at, pkt.group);
+  if (e == nullptr) return;
+  e->downstream_routers.erase(from);
+  if (e->downstream_routers.empty() && e->downstream_ifaces.empty()) {
+    // Relay became a useless leaf; prune continues upstream (§III-C). No
+    // LEAVE is sent: a pure relay never joined the group.
+    const graph::NodeId up = e->upstream;
+    entries_[static_cast<std::size_t>(at)].erase(pkt.group);
+    if (up != graph::kInvalidNode) {
+      sim::Packet prune;
+      prune.type = sim::PacketType::kPrune;
+      prune.group = pkt.group;
+      prune.src = at;
+      net().send_link(at, up, prune);
+    }
+  }
+}
+
+void Scmp::ir_handle_clear(graph::NodeId at, const sim::Packet& pkt) {
+  Entry* e = mutable_entry_at(at, pkt.group);
+  if (e != nullptr && e->version > pkt.uid) return;  // overtaken CLEAR
+  if (pkt.path.empty()) {
+    entries_[static_cast<std::size_t>(at)].erase(pkt.group);
+    auto& tomb = cleared_version_[static_cast<std::size_t>(at)][pkt.group];
+    tomb = std::max(tomb, pkt.uid);
+    return;
+  }
+  if (e == nullptr) return;
+  for (graph::NodeId child : pkt.path) e->downstream_routers.erase(child);
+  e->version = std::max(e->version, pkt.uid);
+}
+
+// ---------------------------------------------------------------------------
+// Data plane (paper §III-F).
+// ---------------------------------------------------------------------------
+
+void Scmp::send_data(graph::NodeId source, GroupId group) {
+  sim::Packet pkt = make_data_packet(source, group);
+  if (source == mrouter_of(group) ||
+      mutable_entry_at(source, group) != nullptr) {
+    net().inject(source, std::move(pkt));
+    return;
+  }
+  // Off-tree source: encapsulate in a unicast packet to the m-router.
+  pkt.type = sim::PacketType::kDataEncap;
+  pkt.dst = mrouter_of(group);
+  net().send_unicast(source, std::move(pkt));
+}
+
+void Scmp::forward_data(graph::NodeId at, const sim::Packet& pkt,
+                        graph::NodeId from) {
+  const graph::NodeId root = mrouter_of(pkt.group);
+  std::vector<graph::NodeId> fset;
+  if (at == root) {
+    const auto it = trees_.find(pkt.group);
+    if (it != trees_.end()) {
+      const auto& kids = it->second.tree().children(root);
+      fset.assign(kids.begin(), kids.end());
+    }
+    db_.record_data_forwarded(pkt.group, pkt.size_bytes);
+    if (pkt.src != graph::kInvalidNode) senders_[pkt.group].insert(pkt.src);
+  } else {
+    const Entry* e = entry_at(at, pkt.group);
+    if (e == nullptr) {
+      if (router_is_member(at, pkt.group)) deliver_locally(at, pkt);
+      return;
+    }
+    fset.assign(e->downstream_routers.begin(), e->downstream_routers.end());
+    if (e->upstream != graph::kInvalidNode) fset.push_back(e->upstream);
+  }
+
+  // The paper's forwarding rule: accept only from F = {upstream} ∪
+  // downstream, forward to the rest of F.
+  if (from != graph::kInvalidNode &&
+      std::find(fset.begin(), fset.end(), from) == fset.end()) {
+    return;
+  }
+  if (router_is_member(at, pkt.group)) deliver_locally(at, pkt);
+
+  // At the anchoring m-router, the configured transit model (fabric stage
+  // depth + scheduling) holds the packet before it leaves on the tree.
+  const double transit =
+      (at == root && transit_model_) ? transit_model_(pkt) : 0.0;
+  if (transit > 0.0) {
+    net().queue().schedule_in(
+        transit, [this, at, from, fset, p = pkt]() {
+          for (graph::NodeId next : fset) {
+            if (next != from) net().send_link(at, next, p);
+          }
+        });
+    return;
+  }
+  for (graph::NodeId next : fset) {
+    if (next != from) net().send_link(at, next, pkt);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+void Scmp::handle_packet(graph::NodeId at, const sim::Packet& pkt,
+                         graph::NodeId from) {
+  switch (pkt.type) {
+    case sim::PacketType::kJoin:
+      SCMP_ASSERT(at == mrouter_of(pkt.group));
+      mrouter_handle_join(pkt.group, pkt.src);
+      break;
+    case sim::PacketType::kLeave:
+      SCMP_ASSERT(at == mrouter_of(pkt.group));
+      mrouter_handle_leave(pkt.group, pkt.src);
+      break;
+    case sim::PacketType::kTree:
+      ir_handle_tree(at, pkt, from);
+      break;
+    case sim::PacketType::kBranch:
+      ir_handle_branch(at, pkt, from);
+      break;
+    case sim::PacketType::kPrune:
+      ir_handle_prune(at, pkt, from);
+      break;
+    case sim::PacketType::kClear:
+      ir_handle_clear(at, pkt);
+      break;
+    case sim::PacketType::kData:
+      forward_data(at, pkt, from);
+      break;
+    case sim::PacketType::kDataEncap: {
+      SCMP_ASSERT(at == mrouter_of(pkt.group));
+      sim::Packet data = pkt;
+      data.type = sim::PacketType::kData;
+      data.dst = graph::kInvalidNode;
+      forward_data(at, data, graph::kInvalidNode);
+      break;
+    }
+    default:
+      SCMP_ASSERT(false && "unexpected packet type in SCMP");
+  }
+}
+
+bool Scmp::network_state_consistent(GroupId group) const {
+  const auto it = trees_.find(group);
+  const graph::MulticastTree* tree =
+      it == trees_.end() ? nullptr : &it->second.tree();
+  const graph::NodeId root = mrouter_of(group);
+
+  for (graph::NodeId v = 0; v < net().graph().num_nodes(); ++v) {
+    const Entry* e = entry_at(v, group);
+    if (v == root) {
+      if (e != nullptr) return false;  // the anchor holds no Entry
+      continue;
+    }
+    const bool should_be_on_tree = tree != nullptr && tree->on_tree(v);
+    if (!should_be_on_tree) {
+      if (e != nullptr) return false;
+      continue;
+    }
+    if (e == nullptr) return false;
+    if (e->upstream != tree->parent(v)) return false;
+    const auto& kids = tree->children(v);
+    if (e->downstream_routers !=
+        std::set<graph::NodeId>(kids.begin(), kids.end()))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace scmp::core

@@ -1,0 +1,211 @@
+// SCMP — the Service-Centric Multicast Protocol (paper §II-D and §III).
+//
+// One or more m-routers per domain (paper §II-A: "An ISP may own more than
+// one m-routers in the Internet for serving its customers in different
+// geographic regions"; the default is one) own global topology and
+// membership information. Every group is anchored at exactly one m-router —
+// the mapping is a published static function of the group id, so every
+// designated router can address its JOIN/LEAVE requests without discovery.
+//
+// The anchoring m-router maintains a delay-constrained shared tree per group
+// with DCDM and installs it into the network with self-routing TREE packets
+// (full subtree installs) or BRANCH packets (single-path incremental
+// installs); restructuring joins are installed as a minimal diff (BRANCH +
+// targeted CLEARs). Members leave with hop-by-hop PRUNEs. The shared tree is
+// bidirectional; off-tree sources unicast-encapsulate data to the m-router.
+//
+// Failure handling (paper §V, advantage 4, extended): fail_over moves every
+// group anchored at a failed m-router to a hot standby, rebuilding trees
+// from the replicated service database (optionally on the parallel compute
+// pool); on_topology_change() repairs all trees after a link failure.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "core/compute_pool.hpp"
+#include "core/database.hpp"
+#include "core/dcdm.hpp"
+#include "protocols/multicast_protocol.hpp"
+
+namespace scmp::core {
+
+class Scmp final : public proto::MulticastProtocol {
+ public:
+  struct Config {
+    /// The (primary) m-router; used when `mrouters` is empty.
+    graph::NodeId mrouter = 0;
+    /// Optional: several m-routers sharing the domain's groups
+    /// (group g is anchored at mrouters[g % mrouters.size()]).
+    std::vector<graph::NodeId> mrouters;
+    DcdmConfig dcdm;
+    /// Ablation knob: install every change with full TREE packets instead of
+    /// BRANCH packets where possible (§III-E discusses why BRANCH is used
+    /// for small changes).
+    bool always_full_tree = false;
+  };
+
+  Scmp(sim::Network& net, igmp::IgmpDomain& igmp, Config cfg);
+
+  std::string name() const override { return "SCMP"; }
+
+  void handle_packet(graph::NodeId at, const sim::Packet& pkt,
+                     graph::NodeId from) override;
+  void send_data(graph::NodeId source, GroupId group) override;
+
+  void interface_joined(graph::NodeId router, GroupId group, int iface,
+                        bool first_iface) override;
+  void interface_left(graph::NodeId router, GroupId group, int iface,
+                      bool last_iface) override;
+
+  /// The primary m-router (the only one when Config::mrouters is empty).
+  graph::NodeId mrouter() const { return mrouters_.front(); }
+  const std::vector<graph::NodeId>& mrouters() const { return mrouters_; }
+  /// The m-router anchoring `group` (its trees' root).
+  graph::NodeId mrouter_of(GroupId group) const;
+
+  /// Promotes `standby` to replace the failed m-router: every group anchored
+  /// at `failed` is re-anchored, its tree rebuilt from the database replica
+  /// and reinstalled; stale state is cleared (paper §V hot-standby
+  /// failover). When `pool` is given, the per-group rebuilds run on its
+  /// worker threads (§II-B); the result is identical to the serial rebuild.
+  void fail_over(graph::NodeId failed, graph::NodeId standby,
+                 const TreeComputePool* pool = nullptr);
+
+  /// Single-m-router convenience: fails the primary over to `standby`.
+  void fail_over_to(graph::NodeId standby,
+                    const TreeComputePool* pool = nullptr) {
+    fail_over(mrouter(), standby, pool);
+  }
+
+  /// Topology change (e.g. a failed link): the m-routers refresh the global
+  /// path database, recompute every group tree and reinstall — the
+  /// service-centric repair story: no other router runs any algorithm.
+  void on_topology_change() override;
+
+  /// Tears down a whole multicast session (paper §II-C): clears the installed
+  /// state of every on-tree router, drops the tree and revokes the address.
+  void end_group_session(GroupId group);
+
+  /// Session lifecycle policy (paper §II-C: "the m-router is responsible ...
+  /// to tear down an expired multicast session", with the lifetime driven by
+  /// service requirements): a session whose membership stays empty for
+  /// `idle_seconds` is ended automatically. 0 disables the policy (default).
+  void set_session_idle_expiry(double idle_seconds);
+
+  /// Models the m-router's internal transit (switching fabric stages plus
+  /// any scheduling): when set, data an anchoring m-router forwards is held
+  /// for `fn(packet)` seconds before leaving on the tree (paper Fig. 3: the
+  /// fabric sits between the arriving flows and the tree's root port).
+  /// MRouterNode wires this to the sandwich fabric's real stage depths.
+  using TransitModel = std::function<double(const sim::Packet&)>;
+  void set_mrouter_transit_model(TransitModel fn) {
+    transit_model_ = std::move(fn);
+  }
+
+  /// The m-router's service database (sessions, addresses, accounting).
+  const MRouterDatabase& database() const { return db_; }
+
+  /// m-router's authoritative tree for a group (nullptr if no session).
+  const DcdmTree* group_tree(GroupId group) const;
+
+  /// Groups with a live session at the m-routers.
+  std::vector<GroupId> active_groups() const;
+
+  /// Distinct source routers the anchoring m-router has seen data from, per
+  /// group (drives the switching fabric's input-port assignment).
+  std::set<graph::NodeId> senders_of(GroupId group) const;
+
+  /// Re-announces a group's whole tree (full TREE install) and clears every
+  /// router that held state since the last refresh but is off the current
+  /// tree. This is the soft-state/anti-entropy mechanism that re-converges
+  /// installed state after *concurrent* membership operations raced each
+  /// other's install packets (drained sequential operations never need it).
+  void refresh_group(GroupId group);
+
+  /// An i-router's installed multicast routing entry (paper §III-A):
+  /// (group id, upstream, downstream routers + downstream interfaces).
+  /// `version` is the m-router install operation that last wrote the entry;
+  /// i-routers ignore install packets older than their entry (a BRANCH
+  /// overtaken by a newer restructure must not resurrect stale state).
+  struct Entry {
+    graph::NodeId upstream = graph::kInvalidNode;
+    std::set<graph::NodeId> downstream_routers;
+    std::set<int> downstream_ifaces;
+    std::uint64_t version = 0;
+  };
+  const Entry* entry_at(graph::NodeId router, GroupId group) const;
+
+  /// Verifies that the routing state installed in the network matches the
+  /// anchoring m-router's authoritative tree for `group`.
+  bool network_state_consistent(GroupId group) const;
+
+ private:
+  Entry* mutable_entry_at(graph::NodeId router, GroupId group);
+  DcdmTree& tree_for(GroupId group);
+
+  // m-router side.
+  void mrouter_handle_join(GroupId group, graph::NodeId requester);
+  void mrouter_handle_leave(GroupId group, graph::NodeId requester);
+  void install_branch(GroupId group, graph::NodeId member,
+                      std::uint64_t version);
+  void install_full_tree(GroupId group,
+                         const std::vector<graph::NodeId>& removed,
+                         std::uint64_t version);
+  /// Unicasts a CLEAR to `target`: empty `detach` drops the whole entry,
+  /// otherwise only the listed children are removed from its downstream.
+  void send_clear(GroupId group, graph::NodeId target,
+                  std::vector<graph::NodeId> detach, std::uint64_t version);
+  void ir_handle_clear(graph::NodeId at, const sim::Packet& pkt);
+  /// Rebuilds the given groups' trees at their (current) anchors from the
+  /// membership database, clears stale installed state and reinstalls.
+  void rebuild_trees(const std::vector<GroupId>& groups,
+                     const TreeComputePool* pool);
+  void local_membership_change(GroupId group, bool joined);
+  /// Starts a new install operation for the group and returns its version.
+  std::uint64_t next_install_version(GroupId group) {
+    return ++install_version_[group];
+  }
+
+  // i-router side.
+  void ir_handle_tree(graph::NodeId at, const sim::Packet& pkt,
+                      graph::NodeId from);
+  void ir_handle_branch(graph::NodeId at, const sim::Packet& pkt,
+                        graph::NodeId from);
+  void ir_handle_prune(graph::NodeId at, const sim::Packet& pkt,
+                       graph::NodeId from);
+  void send_prune_and_leave(graph::NodeId at, GroupId group);
+
+  // Data plane.
+  void forward_data(graph::NodeId at, const sim::Packet& pkt,
+                    graph::NodeId from);
+
+  Config cfg_;
+  std::vector<graph::NodeId> mrouters_;
+  MRouterDatabase db_;
+  graph::AllPairsPaths paths_;  ///< the m-routers' global path database
+  std::map<GroupId, DcdmTree> trees_;
+  std::map<GroupId, std::set<graph::NodeId>> senders_;
+  /// Monotone install-operation counter per group (carried in TREE/BRANCH/
+  /// CLEAR packets as Packet::uid).
+  std::map<GroupId, std::uint64_t> install_version_;
+  /// Routers that received install state since the last refresh (the
+  /// anti-entropy clear set).
+  std::map<GroupId, std::set<graph::NodeId>> ever_installed_;
+  /// Tombstones: the version of the last applied entry-drop CLEAR, per
+  /// (router, group); install packets older than the tombstone must not
+  /// resurrect the entry.
+  std::vector<std::map<GroupId, std::uint64_t>> cleared_version_;
+  /// Per-router installed entries; a group's anchoring m-router forwards
+  /// from its tree and holds no Entry for that group (it may hold entries
+  /// for groups anchored elsewhere). When an entry is created (BRANCH
+  /// terminal or TREE install) its downstream interfaces are taken from the
+  /// IGMP state, which subsumes the paper's "marked interface" bookkeeping.
+  std::vector<std::map<GroupId, Entry>> entries_;
+  TransitModel transit_model_;
+  double session_idle_expiry_ = 0.0;  ///< 0 = sessions never auto-expire
+};
+
+}  // namespace scmp::core

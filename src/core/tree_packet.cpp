@@ -1,0 +1,113 @@
+#include "core/tree_packet.hpp"
+
+#include "util/contracts.hpp"
+
+namespace scmp::core {
+
+TreeWords encode_subtree(const graph::MulticastTree& tree,
+                         graph::NodeId subtree_root) {
+  const auto& children = tree.children(subtree_root);
+  TreeWords words;
+  words.push_back(static_cast<std::uint32_t>(children.size()));
+  for (graph::NodeId child : children) {
+    const TreeWords sub = encode_subtree(tree, child);
+    words.push_back(static_cast<std::uint32_t>(child));
+    words.push_back(static_cast<std::uint32_t>(sub.size()));
+    words.insert(words.end(), sub.begin(), sub.end());
+  }
+  return words;
+}
+
+namespace {
+
+/// Validates the packet occupying words[pos, pos+len); returns false on any
+/// structural violation.
+bool well_formed_range(const TreeWords& words, std::size_t pos,
+                       std::size_t len) {
+  if (len == 0) return false;  // a packet is at least its child count
+  const std::size_t end = pos + len;
+  const std::uint32_t k = words[pos];
+  std::size_t cur = pos + 1;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    if (cur + 2 > end) return false;  // child id + length must fit
+    const std::size_t sub_len = words[cur + 1];
+    cur += 2;
+    if (sub_len > end - cur) return false;
+    if (!well_formed_range(words, cur, sub_len)) return false;
+    cur += sub_len;
+  }
+  return cur == end;  // no trailing garbage
+}
+
+}  // namespace
+
+bool is_well_formed(const TreeWords& words) {
+  return well_formed_range(words, 0, words.size());
+}
+
+std::vector<TreeChild> split_tree_packet(const TreeWords& words) {
+  SCMP_EXPECTS(!words.empty());
+  const std::uint32_t k = words[0];
+  std::vector<TreeChild> out;
+  out.reserve(k);
+  std::size_t pos = 1;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    SCMP_EXPECTS(pos + 2 <= words.size());
+    TreeChild child;
+    child.id = static_cast<graph::NodeId>(words[pos]);
+    const std::size_t len = words[pos + 1];
+    pos += 2;
+    SCMP_EXPECTS(pos + len <= words.size());
+    child.subpacket.assign(words.begin() + static_cast<std::ptrdiff_t>(pos),
+                           words.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    pos += len;
+    out.push_back(std::move(child));
+  }
+  SCMP_EXPECTS(pos == words.size());
+  return out;
+}
+
+std::vector<std::pair<graph::NodeId, graph::NodeId>> decode_edges(
+    const TreeWords& words, graph::NodeId recipient) {
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  for (const TreeChild& child : split_tree_packet(words)) {
+    edges.emplace_back(child.id, recipient);
+    const auto sub = decode_edges(child.subpacket, child.id);
+    edges.insert(edges.end(), sub.begin(), sub.end());
+  }
+  return edges;
+}
+
+int node_count(const TreeWords& words) {
+  int total = 0;
+  for (const TreeChild& child : split_tree_packet(words))
+    total += 1 + node_count(child.subpacket);
+  return total;
+}
+
+std::vector<std::uint8_t> to_bytes(const TreeWords& words) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(words.size() * 4);
+  for (std::uint32_t w : words) {
+    bytes.push_back(static_cast<std::uint8_t>(w & 0xff));
+    bytes.push_back(static_cast<std::uint8_t>((w >> 8) & 0xff));
+    bytes.push_back(static_cast<std::uint8_t>((w >> 16) & 0xff));
+    bytes.push_back(static_cast<std::uint8_t>((w >> 24) & 0xff));
+  }
+  return bytes;
+}
+
+TreeWords from_bytes(const std::vector<std::uint8_t>& bytes) {
+  SCMP_EXPECTS(bytes.size() % 4 == 0);
+  TreeWords words;
+  words.reserve(bytes.size() / 4);
+  for (std::size_t i = 0; i < bytes.size(); i += 4) {
+    words.push_back(static_cast<std::uint32_t>(bytes[i]) |
+                    (static_cast<std::uint32_t>(bytes[i + 1]) << 8) |
+                    (static_cast<std::uint32_t>(bytes[i + 2]) << 16) |
+                    (static_cast<std::uint32_t>(bytes[i + 3]) << 24));
+  }
+  return words;
+}
+
+}  // namespace scmp::core

@@ -1,0 +1,61 @@
+// The self-routing TREE packet codec (paper §III-E). A TREE packet sent to
+// router X describes the whole subtree rooted at X as a recursive word
+// sequence:
+//
+//   packet(X) = [ k, (child_1, len(packet(child_1)), packet(child_1)),
+//                    ..., (child_k, len(...), packet(child_k)) ]
+//
+// where k is X's number of downstream routers and len counts 32-bit words —
+// exactly the format of the paper's worked example
+// (3; 4,1,(0); 5,7,(2,7,1,0,8,1,0); 6,4,(1,9,1,0)).
+//
+// Routers forward TREE packets by splitting them: each child's sub-sequence
+// becomes the TREE packet sent to that child, with no routing-table lookups
+// (self-routing). BRANCH packets, the incremental variant, are a plain
+// router sequence from the m-router to the new member and use Packet::path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/multicast_tree.hpp"
+
+namespace scmp::core {
+
+using TreeWords = std::vector<std::uint32_t>;
+
+/// Encodes the subtree of `tree` rooted at `subtree_root` (the words describe
+/// the descendants; the recipient is implicit, per the paper's format).
+TreeWords encode_subtree(const graph::MulticastTree& tree,
+                         graph::NodeId subtree_root);
+
+/// One direct downstream entry parsed from a TREE packet.
+struct TreeChild {
+  graph::NodeId id = graph::kInvalidNode;
+  TreeWords subpacket;  ///< the TREE packet to forward to `id`
+};
+
+/// True when `words` is a structurally valid TREE packet: every length field
+/// in range, no trailing garbage, every subpacket recursively well-formed.
+/// Routers validate before splitting so a corrupted packet is dropped
+/// instead of crashing the control plane.
+bool is_well_formed(const TreeWords& words);
+
+/// Splits a TREE packet into its direct downstream entries (the i-router
+/// operation of §III-E). Aborts on malformed input via contracts — callers
+/// on untrusted input check is_well_formed() first.
+std::vector<TreeChild> split_tree_packet(const TreeWords& words);
+
+/// Fully decodes a TREE packet into the set of (child, parent) edges of the
+/// subtree, given the recipient's id. Convenience for tests/verification.
+std::vector<std::pair<graph::NodeId, graph::NodeId>> decode_edges(
+    const TreeWords& words, graph::NodeId recipient);
+
+/// Number of routers described by the packet (recipient excluded).
+int node_count(const TreeWords& words);
+
+/// Byte serialisation for Packet::payload (little-endian 32-bit words).
+std::vector<std::uint8_t> to_bytes(const TreeWords& words);
+TreeWords from_bytes(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace scmp::core

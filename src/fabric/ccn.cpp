@@ -1,0 +1,82 @@
+#include "fabric/ccn.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace scmp::fabric {
+
+namespace {
+
+int ceil_log2(int v) {
+  int depth = 0;
+  int span = 1;
+  while (span < v) {
+    span *= 2;
+    ++depth;
+  }
+  return depth;
+}
+
+}  // namespace
+
+ConnectionComponentNetwork::ConnectionComponentNetwork(int lines)
+    : lines_(lines) {
+  SCMP_EXPECTS(lines >= 1);
+  leader_.resize(static_cast<std::size_t>(lines));
+  depth_.assign(static_cast<std::size_t>(lines), 0);
+  for (int i = 0; i < lines; ++i) leader_[static_cast<std::size_t>(i)] = i;
+}
+
+void ConnectionComponentNetwork::configure(const std::vector<Block>& blocks) {
+  for (int i = 0; i < lines_; ++i) {
+    leader_[static_cast<std::size_t>(i)] = i;
+    depth_[static_cast<std::size_t>(i)] = 0;
+  }
+  blocks_ = blocks;
+  std::vector<char> used(static_cast<std::size_t>(lines_), 0);
+  for (const Block& b : blocks) {
+    SCMP_EXPECTS(b.length >= 1);
+    SCMP_EXPECTS(b.start >= 0 && b.start + b.length <= lines_);
+    const int tree_depth = ceil_log2(b.length);
+    for (int i = 0; i < b.length; ++i) {
+      const auto line = static_cast<std::size_t>(b.start + i);
+      SCMP_EXPECTS(!used[line]);  // blocks must be disjoint
+      used[line] = 1;
+      leader_[line] = b.start;
+      depth_[line] = tree_depth;
+    }
+  }
+}
+
+int ConnectionComponentNetwork::leader_of(int line) const {
+  SCMP_EXPECTS(line >= 0 && line < lines_);
+  return leader_[static_cast<std::size_t>(line)];
+}
+
+int ConnectionComponentNetwork::merge_depth(int line) const {
+  SCMP_EXPECTS(line >= 0 && line < lines_);
+  return depth_[static_cast<std::size_t>(line)];
+}
+
+bool ConnectionComponentNetwork::verify_isolation() const {
+  for (const Block& b : blocks_) {
+    for (int i = 0; i < b.length; ++i) {
+      if (leader_[static_cast<std::size_t>(b.start + i)] != b.start)
+        return false;
+    }
+  }
+  // Lines outside every block must pass through untouched.
+  std::vector<char> in_block(static_cast<std::size_t>(lines_), 0);
+  for (const Block& b : blocks_)
+    for (int i = 0; i < b.length; ++i)
+      in_block[static_cast<std::size_t>(b.start + i)] = 1;
+  for (int line = 0; line < lines_; ++line) {
+    if (!in_block[static_cast<std::size_t>(line)] &&
+        leader_[static_cast<std::size_t>(line)] != line)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace scmp::fabric

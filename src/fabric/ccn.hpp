@@ -1,0 +1,48 @@
+// Connection component network (CCN), the centre stage of the m-router's
+// sandwich fabric (paper §II-B, conference-network refs [11], [12]). After
+// the PN has ordered the lines so that all sources of one multicast group are
+// contiguous, the CCN merges each contiguous block onto a single line (a
+// reversed binary tree rooted at the block leader), which the DN then maps
+// to the output port that roots the group's tree in the Internet. Sources of
+// different groups are never connected.
+#pragma once
+
+#include <vector>
+
+namespace scmp::fabric {
+
+/// A contiguous block of lines forming one connection component.
+struct Block {
+  int start = 0;
+  int length = 1;
+};
+
+class ConnectionComponentNetwork {
+ public:
+  explicit ConnectionComponentNetwork(int lines);
+
+  int lines() const { return lines_; }
+
+  /// Configures disjoint merge blocks; lines outside any block pass through.
+  void configure(const std::vector<Block>& blocks);
+
+  /// The line a signal entering at `line` leaves on (the block leader, or
+  /// `line` itself when unmerged).
+  int leader_of(int line) const;
+
+  /// Depth of the merge tree the line traverses (0 when unmerged) — the
+  /// CCN's contribution to the cell's latency in gate stages.
+  int merge_depth(int line) const;
+
+  /// Invariant check: every line maps into its own block's leader and blocks
+  /// are disjoint (no cross-component connection).
+  bool verify_isolation() const;
+
+ private:
+  int lines_;
+  std::vector<int> leader_;  ///< per line
+  std::vector<int> depth_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace scmp::fabric

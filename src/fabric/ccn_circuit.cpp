@@ -1,0 +1,72 @@
+#include "fabric/ccn_circuit.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace scmp::fabric {
+
+CcnCircuit::CcnCircuit(int lines) : lines_(lines) {
+  SCMP_EXPECTS(lines >= 1);
+}
+
+void CcnCircuit::configure(const std::vector<Block>& blocks) {
+  elements_.clear();
+  stages_ = 0;
+  std::vector<char> used(static_cast<std::size_t>(lines_), 0);
+  for (const Block& b : blocks) {
+    SCMP_EXPECTS(b.length >= 1);
+    SCMP_EXPECTS(b.start >= 0 && b.start + b.length <= lines_);
+    for (int i = 0; i < b.length; ++i) {
+      SCMP_EXPECTS(!used[static_cast<std::size_t>(b.start + i)]);
+      used[static_cast<std::size_t>(b.start + i)] = 1;
+    }
+    // Binary-tree reduction over the contiguous block.
+    for (int stage = 0, step = 1; step < b.length; ++stage, step *= 2) {
+      for (int k = 0; b.start + k * 2 * step + step < b.start + b.length;
+           ++k) {
+        MergeElement e;
+        e.stage = stage;
+        e.from_line = b.start + k * 2 * step + step;
+        e.into_line = b.start + k * 2 * step;
+        elements_.push_back(e);
+      }
+      stages_ = std::max(stages_, stage + 1);
+    }
+  }
+  // propagate() relies on stage-ordered application.
+  std::stable_sort(elements_.begin(), elements_.end(),
+                   [](const MergeElement& a, const MergeElement& b) {
+                     return a.stage < b.stage;
+                   });
+}
+
+std::vector<std::vector<int>> CcnCircuit::propagate(
+    const std::vector<int>& inputs) const {
+  SCMP_EXPECTS(static_cast<int>(inputs.size()) == lines_);
+  // carrying[l] = input lines whose signals currently sit on line l.
+  std::vector<std::vector<int>> carrying(static_cast<std::size_t>(lines_));
+  for (int l = 0; l < lines_; ++l) {
+    if (inputs[static_cast<std::size_t>(l)] != -1)
+      carrying[static_cast<std::size_t>(l)].push_back(l);
+  }
+  for (const MergeElement& e : elements_) {
+    auto& from = carrying[static_cast<std::size_t>(e.from_line)];
+    auto& into = carrying[static_cast<std::size_t>(e.into_line)];
+    into.insert(into.end(), from.begin(), from.end());
+    from.clear();
+  }
+  for (auto& lines : carrying) std::sort(lines.begin(), lines.end());
+  return carrying;
+}
+
+int CcnCircuit::leader_of(int line) const {
+  SCMP_EXPECTS(line >= 0 && line < lines_);
+  int cur = line;
+  for (const MergeElement& e : elements_) {
+    if (e.from_line == cur) cur = e.into_line;
+  }
+  return cur;
+}
+
+}  // namespace scmp::fabric

@@ -1,0 +1,57 @@
+// Gate-level realisation of the connection component network: the abstract
+// CCN (ccn.hpp) says *what* merges; this circuit says *how*, with explicit
+// 2:1 merge elements arranged in log-depth stages — the reversed binary tree
+// per connection component that the paper's conference-network references
+// ([11], [12]) build in hardware.
+//
+// For every configured block, stage s (s = 0, 1, ...) contains an element
+// merging line (start + k*2^(s+1) + 2^s) into line (start + k*2^(s+1)) when
+// both lie inside the block — a binary-tree reduction that leaves the whole
+// block's signal on the block leader after ceil(log2(len)) stages.
+#pragma once
+
+#include <vector>
+
+#include "fabric/ccn.hpp"
+
+namespace scmp::fabric {
+
+/// One 2:1 combiner: at `stage`, the signal on `from_line` merges into
+/// `into_line`.
+struct MergeElement {
+  int stage = 0;
+  int from_line = 0;
+  int into_line = 0;
+};
+
+class CcnCircuit {
+ public:
+  explicit CcnCircuit(int lines);
+
+  int lines() const { return lines_; }
+
+  /// Builds the merge elements for disjoint blocks (same contract as the
+  /// abstract CCN).
+  void configure(const std::vector<Block>& blocks);
+
+  const std::vector<MergeElement>& elements() const { return elements_; }
+  int element_count() const { return static_cast<int>(elements_.size()); }
+  /// Stages the deepest block needs.
+  int stage_count() const { return stages_; }
+
+  /// Propagates signals through the circuit: `inputs[l]` is the signal id on
+  /// line l (-1 = idle). Returns, per output line, the ascending list of
+  /// input *lines* whose signals ended up there.
+  std::vector<std::vector<int>> propagate(
+      const std::vector<int>& inputs) const;
+
+  /// The output line a signal entering on `line` leaves on.
+  int leader_of(int line) const;
+
+ private:
+  int lines_;
+  int stages_ = 0;
+  std::vector<MergeElement> elements_;
+};
+
+}  // namespace scmp::fabric

@@ -1,0 +1,154 @@
+#include "fabric/mrouter_fabric.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace scmp::fabric {
+
+MRouterFabric::MRouterFabric(int ports)
+    : ports_(ports), pn_(ports), ccn_(ports), dn_(ports) {
+  SCMP_EXPECTS(ports >= 2 && is_power_of_two(ports));
+  input_group_.assign(static_cast<std::size_t>(ports), -1);
+  port_load_.assign(static_cast<std::size_t>(ports), 0);
+
+  // Start in the identity configuration.
+  std::vector<int> identity(static_cast<std::size_t>(ports));
+  for (int i = 0; i < ports; ++i) identity[static_cast<std::size_t>(i)] = i;
+  pn_.route(identity);
+  dn_.route(identity);
+}
+
+void MRouterFabric::configure(const std::vector<FabricSession>& sessions) {
+  // Validate: distinct groups, distinct in-range input ports, capacity.
+  std::vector<char> port_taken(static_cast<std::size_t>(ports_), 0);
+  int total_inputs = 0;
+  {
+    std::vector<int> groups;
+    for (const auto& s : sessions) {
+      SCMP_EXPECTS(s.group >= 0);
+      SCMP_EXPECTS(!s.input_ports.empty());
+      groups.push_back(s.group);
+      for (int p : s.input_ports) {
+        SCMP_EXPECTS(p >= 0 && p < ports_);
+        SCMP_EXPECTS(!port_taken[static_cast<std::size_t>(p)]);
+        port_taken[static_cast<std::size_t>(p)] = 1;
+        ++total_inputs;
+      }
+    }
+    std::sort(groups.begin(), groups.end());
+    SCMP_EXPECTS(std::adjacent_find(groups.begin(), groups.end()) ==
+                 groups.end());
+    SCMP_EXPECTS(total_inputs <= ports_);
+    SCMP_EXPECTS(static_cast<int>(sessions.size()) <= ports_);
+  }
+
+  group_output_.clear();
+  std::fill(input_group_.begin(), input_group_.end(), -1);
+
+  // Deterministic processing order: by group id.
+  std::vector<const FabricSession*> ordered;
+  ordered.reserve(sessions.size());
+  for (const auto& s : sessions) ordered.push_back(&s);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const FabricSession* a, const FabricSession* b) {
+              return a->group < b->group;
+            });
+
+  // PN: pack each session's ports onto the next contiguous line block.
+  std::vector<int> pn_perm(static_cast<std::size_t>(ports_), -1);
+  std::vector<Block> blocks;
+  int next_line = 0;
+  for (const FabricSession* s : ordered) {
+    Block b;
+    b.start = next_line;
+    b.length = static_cast<int>(s->input_ports.size());
+    blocks.push_back(b);
+    std::vector<int> sorted_ports = s->input_ports;
+    std::sort(sorted_ports.begin(), sorted_ports.end());
+    for (int p : sorted_ports) {
+      pn_perm[static_cast<std::size_t>(p)] = next_line++;
+      input_group_[static_cast<std::size_t>(p)] = s->group;
+    }
+  }
+  // Unused inputs fill the remaining lines in ascending order.
+  for (int p = 0; p < ports_; ++p) {
+    if (pn_perm[static_cast<std::size_t>(p)] == -1)
+      pn_perm[static_cast<std::size_t>(p)] = next_line++;
+  }
+  SCMP_ASSERT(next_line == ports_);
+  pn_.route(pn_perm);
+  ccn_.configure(blocks);
+
+  // DN: each block leader goes to the least-loaded free output port.
+  std::vector<char> out_taken(static_cast<std::size_t>(ports_), 0);
+  std::vector<int> dn_perm(static_cast<std::size_t>(ports_), -1);
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    int best = -1;
+    for (int p = 0; p < ports_; ++p) {
+      if (out_taken[static_cast<std::size_t>(p)]) continue;
+      if (best == -1 || port_load_[static_cast<std::size_t>(p)] <
+                            port_load_[static_cast<std::size_t>(best)])
+        best = p;
+    }
+    SCMP_ASSERT(best != -1);
+    out_taken[static_cast<std::size_t>(best)] = 1;
+    dn_perm[static_cast<std::size_t>(blocks[i].start)] = best;
+    group_output_[ordered[i]->group] = best;
+    port_load_[static_cast<std::size_t>(best)] +=
+        static_cast<std::uint64_t>(blocks[i].length);
+  }
+  // Remaining lines (merged-away lines and idle lines) fill the free ports.
+  int next_free = 0;
+  for (int line = 0; line < ports_; ++line) {
+    if (dn_perm[static_cast<std::size_t>(line)] != -1) continue;
+    while (out_taken[static_cast<std::size_t>(next_free)]) ++next_free;
+    out_taken[static_cast<std::size_t>(next_free)] = 1;
+    dn_perm[static_cast<std::size_t>(line)] = next_free;
+  }
+  dn_.route(dn_perm);
+}
+
+int MRouterFabric::output_port(int group) const {
+  const auto it = group_output_.find(group);
+  SCMP_EXPECTS(it != group_output_.end());
+  return it->second;
+}
+
+int MRouterFabric::group_of_input(int input_port) const {
+  SCMP_EXPECTS(input_port >= 0 && input_port < ports_);
+  return input_group_[static_cast<std::size_t>(input_port)];
+}
+
+int MRouterFabric::route_cell(int input_port) const {
+  SCMP_EXPECTS(input_port >= 0 && input_port < ports_);
+  const int line = pn_.forward(input_port);
+  const int leader = ccn_.leader_of(line);
+  return dn_.forward(leader);
+}
+
+int MRouterFabric::path_depth(int input_port) const {
+  const int line = pn_.forward(input_port);
+  return pn_.stage_count() + ccn_.merge_depth(line) + dn_.stage_count();
+}
+
+bool MRouterFabric::verify_no_cross_group() const {
+  if (!ccn_.verify_isolation()) return false;
+  // Collect the set of group output ports.
+  std::vector<char> is_group_port(static_cast<std::size_t>(ports_), 0);
+  for (const auto& [group, port] : group_output_)
+    is_group_port[static_cast<std::size_t>(port)] = 1;
+
+  for (int p = 0; p < ports_; ++p) {
+    const int group = input_group_[static_cast<std::size_t>(p)];
+    const int out = route_cell(p);
+    if (group >= 0) {
+      if (out != output_port(group)) return false;
+    } else {
+      if (is_group_port[static_cast<std::size_t>(out)]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace scmp::fabric

@@ -1,0 +1,74 @@
+// The m-router's full n x n sandwich switching fabric (paper §II-B, Fig. 3):
+// PN -> CCN -> DN. configure() takes the set of concurrent many-to-many
+// sessions (each group with the input ports its sources arrive on), assigns
+// every group an output port (least-loaded, the DN's load-balancing role),
+// and programs the three stages so that:
+//   * the PN permutes each group's source ports onto one contiguous line
+//     block,
+//   * the CCN merges the block onto its leader line, and
+//   * the DN carries the leader to the group's output port — the port that
+//     roots the group's multicast tree in the Internet.
+// Sources of different groups are never connected (isolation invariant).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fabric/benes.hpp"
+#include "fabric/ccn.hpp"
+
+namespace scmp::fabric {
+
+struct FabricSession {
+  int group = -1;
+  std::vector<int> input_ports;  ///< distinct ports the sources arrive on
+};
+
+class MRouterFabric {
+ public:
+  /// `ports` must be a power of two >= 2.
+  explicit MRouterFabric(int ports);
+
+  int ports() const { return ports_; }
+
+  /// Programs the fabric for the given sessions. Groups must be distinct and
+  /// input ports globally distinct. Replaces any previous configuration.
+  void configure(const std::vector<FabricSession>& sessions);
+
+  /// Output port assigned to a group in the current configuration.
+  int output_port(int group) const;
+
+  /// Group a configured input port belongs to, or -1.
+  int group_of_input(int input_port) const;
+
+  /// Traces a cell through PN -> CCN -> DN.
+  int route_cell(int input_port) const;
+
+  /// Stage latency (in 2x2 switch hops) a cell from this input experiences.
+  int path_depth(int input_port) const;
+
+  /// Checks the paper's isolation property: every configured input reaches
+  /// exactly its group's output port, and unconfigured inputs never land on
+  /// a group's port.
+  bool verify_no_cross_group() const;
+
+  /// Cumulative per-output-port load (one unit per source per configure),
+  /// the signal the DN's least-loaded assignment balances.
+  const std::vector<std::uint64_t>& port_load() const { return port_load_; }
+
+  const BenesNetwork& pn() const { return pn_; }
+  const BenesNetwork& dn() const { return dn_; }
+  const ConnectionComponentNetwork& ccn() const { return ccn_; }
+
+ private:
+  int ports_;
+  BenesNetwork pn_;
+  ConnectionComponentNetwork ccn_;
+  BenesNetwork dn_;
+  std::map<int, int> group_output_;      ///< group -> output port
+  std::vector<int> input_group_;         ///< input port -> group (-1 = none)
+  std::vector<std::uint64_t> port_load_;
+};
+
+}  // namespace scmp::fabric

@@ -1,0 +1,57 @@
+#include "graph/dijkstra.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+namespace scmp::graph {
+
+std::vector<NodeId> ShortestPaths::path_to(NodeId dst) const {
+  SCMP_EXPECTS(dst >= 0 && dst < static_cast<NodeId>(dist.size()));
+  if (!reachable(dst)) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = dst; v != kInvalidNode; v = parent[static_cast<std::size_t>(v)])
+    path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  SCMP_ENSURES(path.front() == source);
+  return path;
+}
+
+ShortestPaths dijkstra(const Graph& g, NodeId source, Metric metric) {
+  SCMP_EXPECTS(g.valid(source));
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  ShortestPaths out;
+  out.source = source;
+  out.metric = metric;
+  out.dist.assign(n, kUnreachable);
+  out.parent.assign(n, kInvalidNode);
+  out.dist[static_cast<std::size_t>(source)] = 0.0;
+
+  // (distance, node); the node id in the key makes pop order deterministic.
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+  std::vector<char> done(n, 0);
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (done[static_cast<std::size_t>(u)]) continue;
+    done[static_cast<std::size_t>(u)] = 1;
+    for (const auto& nb : g.neighbors(u)) {
+      const double nd = d + weight_of(nb.attr, metric);
+      auto& cur = out.dist[static_cast<std::size_t>(nb.to)];
+      auto& par = out.parent[static_cast<std::size_t>(nb.to)];
+      // Strict improvement, or equal distance via a smaller parent id: the
+      // second clause pins down one canonical shortest-path tree.
+      if (nd < cur || (nd == cur && par != kInvalidNode && u < par)) {
+        cur = nd;
+        par = u;
+        heap.emplace(nd, nb.to);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace scmp::graph

@@ -1,0 +1,35 @@
+// Single-source shortest paths under either link metric. Used to build the
+// paper's P_sl (shortest-delay) and P_lc (least-cost) paths and the link-state
+// unicast forwarding tables every router is assumed to run (paper §II-D).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace scmp::graph {
+
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+/// Result of one Dijkstra run: distance and predecessor per node.
+struct ShortestPaths {
+  NodeId source = kInvalidNode;
+  Metric metric = Metric::kDelay;
+  std::vector<double> dist;     ///< dist[v] == kUnreachable when v unreachable
+  std::vector<NodeId> parent;   ///< parent[source] == kInvalidNode
+
+  bool reachable(NodeId v) const {
+    return dist[static_cast<std::size_t>(v)] < kUnreachable;
+  }
+  double distance(NodeId v) const { return dist[static_cast<std::size_t>(v)]; }
+
+  /// Path source..dst inclusive; empty when dst is unreachable.
+  std::vector<NodeId> path_to(NodeId dst) const;
+};
+
+/// Dijkstra with a binary heap; ties broken by smaller node id so results are
+/// deterministic across platforms.
+ShortestPaths dijkstra(const Graph& g, NodeId source, Metric metric);
+
+}  // namespace scmp::graph

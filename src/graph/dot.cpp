@@ -1,0 +1,64 @@
+#include "graph/dot.hpp"
+
+#include <sstream>
+
+namespace scmp::graph {
+
+namespace {
+
+void emit_plain_edges(const Graph& g, std::ostringstream& os) {
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const auto& nb : g.neighbors(u)) {
+      if (u >= nb.to) continue;
+      os << "  n" << u << " -- n" << nb.to << " [label=\"(" << nb.attr.delay
+         << "," << nb.attr.cost << ")\"];\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const Graph& g) {
+  std::ostringstream os;
+  os << "graph topology {\n  node [shape=circle];\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) os << "  n" << v << ";\n";
+  emit_plain_edges(g, os);
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const Graph& g, const MulticastTree& tree) {
+  SCMP_EXPECTS(tree.num_nodes() == g.num_nodes());
+  std::ostringstream os;
+  os << "graph multicast_tree {\n  node [shape=circle];\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    os << "  n" << v;
+    if (v == tree.root()) {
+      os << " [shape=doublecircle,label=\"" << v << "\\n(m-router)\"]";
+    } else if (tree.is_member(v)) {
+      os << " [shape=box,style=filled,fillcolor=lightgrey]";
+    } else if (tree.on_tree(v)) {
+      os << " [style=bold]";
+    }
+    os << ";\n";
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const auto& nb : g.neighbors(u)) {
+      if (u >= nb.to) continue;
+      const bool tree_edge =
+          (tree.on_tree(u) && tree.on_tree(nb.to) &&
+           (tree.parent(u) == nb.to || tree.parent(nb.to) == u));
+      os << "  n" << u << " -- n" << nb.to;
+      if (tree_edge) {
+        os << " [penwidth=3]";
+      } else {
+        os << " [style=dotted,color=grey]";
+      }
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace scmp::graph

@@ -1,0 +1,20 @@
+// Graphviz DOT export for topologies and multicast trees: `dot -Tsvg` on the
+// output visualises the shared tree the m-router computed (members boxed,
+// tree edges bold), which the examples use to make runs inspectable.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/multicast_tree.hpp"
+
+namespace scmp::graph {
+
+/// The whole topology as an undirected DOT graph with (delay, cost) labels.
+std::string to_dot(const Graph& g);
+
+/// The topology with `tree` overlaid: tree edges bold/directed from parent
+/// to child, the root double-circled, members shaded boxes.
+std::string to_dot(const Graph& g, const MulticastTree& tree);
+
+}  // namespace scmp::graph

@@ -1,0 +1,22 @@
+// Minimum spanning trees: Prim's algorithm over a sparse Graph (used to
+// reduce KMB's expanded subgraph) and over a dense distance matrix (used for
+// KMB's terminal-closure graph).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace scmp::graph {
+
+/// Prim MST rooted at `root`. Returns one parent per node; kInvalidNode for
+/// the root and for nodes unreachable from it. Deterministic tie-breaking by
+/// node id.
+std::vector<NodeId> prim_mst(const Graph& g, NodeId root, Metric metric);
+
+/// Prim MST over a symmetric dense weight matrix (kUnreachable = no edge).
+/// Returns parents as indices into the matrix; kInvalidNode for `root`.
+std::vector<int> prim_mst_dense(const std::vector<std::vector<double>>& w,
+                                int root);
+
+}  // namespace scmp::graph

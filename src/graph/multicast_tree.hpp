@@ -1,0 +1,81 @@
+// Rooted shared multicast tree, the central data structure the m-router
+// maintains per group (paper §III). Supports the paper's dynamic operations:
+// grafting a path for a joining member (including the loop-elimination rule of
+// Fig. 5(c)-(d), where hitting an on-tree node re-parents it and prunes its
+// old upstream branch) and pruning dangling branches after a member leaves.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace scmp::graph {
+
+class MulticastTree {
+ public:
+  /// An empty tree containing only `root` (the m-router's tree anchor).
+  MulticastTree(NodeId root, int num_nodes);
+
+  NodeId root() const { return root_; }
+  int num_nodes() const { return static_cast<int>(parent_.size()); }
+
+  bool on_tree(NodeId v) const;
+  /// Parent of an on-tree node; kInvalidNode for the root.
+  NodeId parent(NodeId v) const;
+  const std::vector<NodeId>& children(NodeId v) const;
+
+  bool is_member(NodeId v) const;
+  /// Marks/unmarks group membership. A node must be on the tree to be a member.
+  void set_member(NodeId v, bool member);
+  std::vector<NodeId> members() const;
+
+  std::vector<NodeId> on_tree_nodes() const;
+  /// Number of nodes currently on the tree (including the root).
+  int tree_size() const { return tree_size_; }
+  bool is_leaf(NodeId v) const;
+
+  /// Grafts `path` onto the tree. path[0] must already be on the tree; the
+  /// remaining nodes are attached in order. When the path re-enters the tree
+  /// at a node x, x is re-parented onto the new path and the branch that used
+  /// to lead into x is pruned upward (paper Fig. 5 loop elimination) —
+  /// unless re-parenting would create a cycle (x is the root or an ancestor
+  /// of the new segment), in which case the redundant new segment is pruned
+  /// instead.
+  void graft_path(const std::vector<NodeId>& path);
+
+  /// Removes `v` and then its ancestors while they remain non-member leaves
+  /// (never removes the root). Models the hop-by-hop PRUNE of §III-C.
+  void prune_upward_from(NodeId v);
+
+  /// Path root..v along tree edges. Requires v on tree.
+  std::vector<NodeId> path_from_root(NodeId v) const;
+
+  /// Sum of link costs over all tree edges.
+  double tree_cost(const Graph& g) const;
+  /// Delay of the tree path root->v (the paper's multicast delay "ml").
+  double node_delay(const Graph& g, NodeId v) const;
+  /// Longest multicast delay over all members (the paper's tree delay).
+  double tree_delay(const Graph& g) const;
+
+  /// All tree edges as (child, parent) pairs.
+  std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+  /// Structural invariants: root on tree, parents on tree, parent edges exist
+  /// in g, children lists mirror parents, no cycles, members on tree.
+  bool validate(const Graph& g) const;
+
+ private:
+  void attach(NodeId child, NodeId parent);
+  void detach(NodeId child);
+  void remove_node(NodeId v);
+  bool is_ancestor(NodeId anc, NodeId v) const;
+
+  NodeId root_;
+  std::vector<NodeId> parent_;          ///< kInvalidNode when off-tree or root
+  std::vector<char> on_tree_;
+  std::vector<char> member_;
+  std::vector<std::vector<NodeId>> children_;
+  int tree_size_ = 0;
+};
+
+}  // namespace scmp::graph

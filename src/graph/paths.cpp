@@ -1,0 +1,43 @@
+#include "graph/paths.hpp"
+
+#include <algorithm>
+
+namespace scmp::graph {
+
+AllPairsPaths::AllPairsPaths(const Graph& g) {
+  const int n = g.num_nodes();
+  by_delay_.reserve(static_cast<std::size_t>(n));
+  by_cost_.reserve(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) {
+    by_delay_.push_back(dijkstra(g, u, Metric::kDelay));
+    by_cost_.push_back(dijkstra(g, u, Metric::kCost));
+  }
+}
+
+double AllPairsPaths::sl_delay(NodeId u, NodeId v) const {
+  return sl_from(u).distance(v);
+}
+
+double AllPairsPaths::lc_cost(NodeId u, NodeId v) const {
+  return lc_from(u).distance(v);
+}
+
+std::vector<NodeId> AllPairsPaths::sl_path(NodeId u, NodeId v) const {
+  return sl_from(u).path_to(v);
+}
+
+std::vector<NodeId> AllPairsPaths::lc_path(NodeId u, NodeId v) const {
+  return lc_from(u).path_to(v);
+}
+
+const ShortestPaths& AllPairsPaths::sl_from(NodeId u) const {
+  SCMP_EXPECTS(u >= 0 && u < num_nodes());
+  return by_delay_[static_cast<std::size_t>(u)];
+}
+
+const ShortestPaths& AllPairsPaths::lc_from(NodeId u) const {
+  SCMP_EXPECTS(u >= 0 && u < num_nodes());
+  return by_cost_[static_cast<std::size_t>(u)];
+}
+
+}  // namespace scmp::graph

@@ -1,0 +1,38 @@
+// All-pairs path cache holding, for every source, both the shortest-delay
+// tree (P_sl paths) and the least-cost tree (P_lc paths). The paper's DCDM
+// algorithm consults exactly these 2m candidate paths per join (§III-D), and
+// the m-router is assumed to have them precomputed from its global topology DB.
+#pragma once
+
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+#include "graph/graph.hpp"
+
+namespace scmp::graph {
+
+class AllPairsPaths {
+ public:
+  explicit AllPairsPaths(const Graph& g);
+
+  /// Delay of the shortest-delay path u->v (the paper's "unicast delay").
+  double sl_delay(NodeId u, NodeId v) const;
+  /// Cost of the least-cost path u->v.
+  double lc_cost(NodeId u, NodeId v) const;
+
+  /// The P_sl path u..v (shortest delay).
+  std::vector<NodeId> sl_path(NodeId u, NodeId v) const;
+  /// The P_lc path u..v (least cost).
+  std::vector<NodeId> lc_path(NodeId u, NodeId v) const;
+
+  const ShortestPaths& sl_from(NodeId u) const;
+  const ShortestPaths& lc_from(NodeId u) const;
+
+  int num_nodes() const { return static_cast<int>(by_delay_.size()); }
+
+ private:
+  std::vector<ShortestPaths> by_delay_;
+  std::vector<ShortestPaths> by_cost_;
+};
+
+}  // namespace scmp::graph

@@ -1,0 +1,20 @@
+// Shortest-path shared tree: the union of the canonical shortest-delay paths
+// from the root/core to every member. This is the tree CBT, DVMRP and MOSPF
+// all produce once the source is co-located with the core (the assumption the
+// paper makes in §IV-A), so it serves as the SPT baseline in Fig. 7.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/multicast_tree.hpp"
+
+namespace scmp::graph {
+
+/// Union of single-source shortest paths (by `metric`) from root to members.
+/// The canonical Dijkstra predecessor tree guarantees the union is loop-free.
+MulticastTree shortest_path_tree(const Graph& g, NodeId root,
+                                 const std::vector<NodeId>& members,
+                                 Metric metric = Metric::kDelay);
+
+}  // namespace scmp::graph

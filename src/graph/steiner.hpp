@@ -1,0 +1,22 @@
+// KMB Steiner-tree approximation (Kou, Markowsky & Berman 1981, the paper's
+// reference [19]): the best known simple approximation on tree cost, used as
+// the cost-only baseline in Fig. 7. It ignores delay entirely, which is why
+// its tree delay oscillates in the paper's plots.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/multicast_tree.hpp"
+#include "graph/paths.hpp"
+
+namespace scmp::graph {
+
+/// Builds the KMB approximate minimum-cost tree spanning {root} ∪ members.
+/// `metric` selects the optimised link weight (the paper uses cost).
+/// Members are marked on the returned tree.
+MulticastTree kmb_steiner(const Graph& g, const AllPairsPaths& paths,
+                          NodeId root, const std::vector<NodeId>& members,
+                          Metric metric = Metric::kCost);
+
+}  // namespace scmp::graph

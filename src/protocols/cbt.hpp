@@ -1,0 +1,80 @@
+// CBT baseline (paper ref [5]): a single bidirectional shared tree per group
+// rooted at a core router. A joining router sends a JOIN_REQUEST hop-by-hop
+// toward the core; the first on-tree router (or the core) answers with a
+// JOIN_ACK that travels back along the recorded path, instantiating
+// forwarding state at every hop. Leaves QUIT upstream. Off-tree sources
+// unicast-encapsulate data to the core. Per the paper's §IV-A methodology the
+// core is placed at the same node as SCMP's m-router, and core election is
+// not simulated.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "protocols/multicast_protocol.hpp"
+
+namespace scmp::proto {
+
+class Cbt final : public MulticastProtocol {
+ public:
+  Cbt(sim::Network& net, igmp::IgmpDomain& igmp);
+
+  std::string name() const override { return "CBT"; }
+
+  /// Assigns the core router of a group (must precede any join for it).
+  void set_core(GroupId group, graph::NodeId core);
+  graph::NodeId core_of(GroupId group) const;
+
+  /// Simulates a core failure (the single point of failure §I criticises
+  /// ST-based protocols for): the core stops processing every packet — new
+  /// joins get no service, off-tree senders' encapsulated data blackholes,
+  /// and traffic crossing the core on the shared tree dies. CBT has no
+  /// repair mechanism (core re-election is out of scope, as in the paper's
+  /// own simulations).
+  void fail_core(GroupId group);
+  bool core_failed(GroupId group) const;
+
+  void handle_packet(graph::NodeId at, const sim::Packet& pkt,
+                     graph::NodeId from) override;
+  void send_data(graph::NodeId source, GroupId group) override;
+
+  void interface_joined(graph::NodeId router, GroupId group, int iface,
+                        bool first_iface) override;
+  void interface_left(graph::NodeId router, GroupId group, int iface,
+                      bool last_iface) override;
+
+  // Introspection for tests.
+  bool on_tree(graph::NodeId router, GroupId group) const;
+  graph::NodeId upstream_of(graph::NodeId router, GroupId group) const;
+  std::set<graph::NodeId> downstream_of(graph::NodeId router,
+                                        GroupId group) const;
+
+ private:
+  struct Entry {
+    graph::NodeId upstream = graph::kInvalidNode;  ///< kInvalidNode at core
+    std::set<graph::NodeId> downstream;
+  };
+
+  Entry* entry(graph::NodeId at, GroupId group);
+  const Entry* entry(graph::NodeId at, GroupId group) const;
+
+  void start_join(graph::NodeId router, GroupId group);
+  void handle_join(graph::NodeId at, const sim::Packet& pkt,
+                   graph::NodeId from);
+  void handle_ack(graph::NodeId at, const sim::Packet& pkt,
+                  graph::NodeId from);
+  void handle_quit(graph::NodeId at, const sim::Packet& pkt,
+                   graph::NodeId from);
+  void handle_data(graph::NodeId at, const sim::Packet& pkt,
+                   graph::NodeId from);
+  void maybe_quit(graph::NodeId at, GroupId group);
+
+  std::map<GroupId, graph::NodeId> cores_;
+  std::set<GroupId> failed_cores_;
+  /// state_[router][group] -> Entry (present iff on tree).
+  std::vector<std::map<GroupId, Entry>> state_;
+  /// Joins in flight, to suppress duplicates: pending_[router] ∋ group.
+  std::vector<std::set<GroupId>> pending_;
+};
+
+}  // namespace scmp::proto

@@ -1,0 +1,69 @@
+// DVMRP baseline (paper ref [2]): dense-mode flood-and-prune on per-source
+// reverse-path trees. Data is flooded down the RPF (truncated broadcast)
+// tree; leaf routers without members prune their (source, group) branch
+// upstream; prune state expires after a lifetime, causing the periodic
+// re-floods that dominate DVMRP's data overhead in Fig. 8. A member joining
+// below a pruned branch grafts it back immediately.
+#pragma once
+
+#include <map>
+
+#include "protocols/multicast_protocol.hpp"
+
+namespace scmp::proto {
+
+class Dvmrp final : public MulticastProtocol {
+ public:
+  /// `prune_lifetime` is the seconds a prune stays effective before its
+  /// branch refloods (real DVMRP uses ~2h; simulations shorten it so the
+  /// reflood behaviour is visible inside the run).
+  Dvmrp(sim::Network& net, igmp::IgmpDomain& igmp, double prune_lifetime = 8.0);
+
+  std::string name() const override { return "DVMRP"; }
+
+  void handle_packet(graph::NodeId at, const sim::Packet& pkt,
+                     graph::NodeId from) override;
+  void send_data(graph::NodeId source, GroupId group) override;
+
+  // IGMP transitions.
+  void interface_joined(graph::NodeId router, GroupId group, int iface,
+                        bool first_iface) override;
+  void interface_left(graph::NodeId router, GroupId group, int iface,
+                      bool last_iface) override;
+
+  /// True when `at` currently has an active prune sent upstream for
+  /// (group, source) — exposed for tests.
+  bool prune_active(graph::NodeId at, GroupId group,
+                    graph::NodeId source) const;
+
+ private:
+  struct SgKey {
+    GroupId group;
+    graph::NodeId source;
+    auto operator<=>(const SgKey&) const = default;
+  };
+
+  /// Downstream neighbours of `at` on the RPF tree of `source`, i.e. the
+  /// neighbours whose reverse path toward the source runs through `at`.
+  std::vector<graph::NodeId> rpf_children(graph::NodeId at,
+                                          graph::NodeId source) const;
+
+  void handle_data(graph::NodeId at, const sim::Packet& pkt,
+                   graph::NodeId from);
+  void handle_prune(graph::NodeId at, const sim::Packet& pkt,
+                    graph::NodeId from);
+  void handle_graft(graph::NodeId at, const sim::Packet& pkt,
+                    graph::NodeId from);
+  void send_prune_upstream(graph::NodeId at, GroupId group,
+                           graph::NodeId source);
+  void send_graft_upstream(graph::NodeId at, GroupId group,
+                           graph::NodeId source);
+
+  double prune_lifetime_;
+  /// prunes_received_[at][{g,s}][child] = expiry time.
+  std::vector<std::map<SgKey, std::map<graph::NodeId, double>>> prunes_received_;
+  /// prune_sent_[at][{g,s}] = expiry time of the prune `at` sent upstream.
+  std::vector<std::map<SgKey, double>> prune_sent_;
+};
+
+}  // namespace scmp::proto

@@ -1,0 +1,85 @@
+// Common frame for all four simulated multicast routing protocols (SCMP plus
+// the DVMRP / MOSPF / CBT baselines of §IV). A protocol instance owns the
+// routing state of *every* router in the domain and receives:
+//   * interface-level membership transitions from the IGMP domain, and
+//   * every packet any router receives (dispatched with the router id).
+// Harnesses drive it through host_join/host_leave/send_data.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "igmp/igmp.hpp"
+#include "sim/network.hpp"
+
+namespace scmp::proto {
+
+using GroupId = igmp::GroupId;
+
+class MulticastProtocol : public igmp::MembershipListener {
+ public:
+  /// Registers this protocol as the agent of every router and as the IGMP
+  /// membership listener. The network and IGMP domain must outlive it.
+  MulticastProtocol(sim::Network& net, igmp::IgmpDomain& igmp);
+  ~MulticastProtocol() override;
+
+  MulticastProtocol(const MulticastProtocol&) = delete;
+  MulticastProtocol& operator=(const MulticastProtocol&) = delete;
+
+  virtual std::string name() const = 0;
+
+  /// Packet dispatch: `at` received `pkt` from neighbour `from`
+  /// (kInvalidNode when locally injected).
+  virtual void handle_packet(graph::NodeId at, const sim::Packet& pkt,
+                             graph::NodeId from) = 0;
+
+  /// Originates one multicast data packet for `group` at router `source`
+  /// (scheduled through the event queue at the current time).
+  virtual void send_data(graph::NodeId source, GroupId group) = 0;
+
+  /// Called after the topology changed (Network::fail_link) and the unicast
+  /// routing substrate reconverged — the moment a link-state protocol would
+  /// notify its clients. Default: no reaction (DVMRP adapts implicitly
+  /// through its RPF checks; CBT has no repair mechanism in this model).
+  virtual void on_topology_change() {}
+
+  /// Convenience wrappers for harnesses: a single host on iface 0.
+  void host_join(graph::NodeId router, GroupId group, int iface = 0,
+                 int host = 0);
+  void host_leave(graph::NodeId router, GroupId group, int iface = 0,
+                  int host = 0);
+
+  sim::Network& net() { return *net_; }
+  const sim::Network& net() const { return *net_; }
+  igmp::IgmpDomain& igmp() { return *igmp_; }
+  const igmp::IgmpDomain& igmp() const { return *igmp_; }
+
+ protected:
+  bool router_is_member(graph::NodeId router, GroupId group) const {
+    return igmp_->router_is_member(router, group);
+  }
+
+  /// Reports application-level delivery of a data packet at a member router.
+  void deliver_locally(graph::NodeId at, const sim::Packet& pkt) {
+    net_->report_delivery(pkt, at);
+  }
+
+  /// A fresh data packet (uid, timestamps and default size filled in).
+  sim::Packet make_data_packet(graph::NodeId source, GroupId group);
+
+ private:
+  struct NodeAdapter final : sim::RouterAgent {
+    MulticastProtocol* protocol = nullptr;
+    graph::NodeId node = graph::kInvalidNode;
+    void handle(const sim::Packet& pkt, graph::NodeId from) override {
+      protocol->handle_packet(node, pkt, from);
+    }
+  };
+
+  sim::Network* net_;
+  igmp::IgmpDomain* igmp_;
+  std::vector<std::unique_ptr<NodeAdapter>> adapters_;
+};
+
+}  // namespace scmp::proto

@@ -1,0 +1,103 @@
+// PIM-SM extension (paper §I names Protocol-Independent Multicast Sparse
+// Mode as the other shared-tree protocol but does not simulate it; we
+// implement it as the optional fourth baseline).
+//
+// Simplified but behaviour-complete sparse mode:
+//   * receivers join a *unidirectional* shared tree rooted at the RP with
+//     hop-by-hop (*,G) JOINs (state is created by the join itself; no ACK);
+//   * sources always register-encapsulate data to the RP, which forwards it
+//     down the shared tree (register-stop is not modelled; the registers
+//     keep flowing, which only costs overhead once receivers switch);
+//   * on the first data packet from a source S, a member DR switches to the
+//     shortest-path tree: it sends an (S,G) JOIN hop-by-hop toward S and an
+//     (S,G,rpt) prune to its shared-tree parent, after which S's packets
+//     arrive on the SPT; copies still arriving via the shared tree are
+//     dropped by the "have (S,G) state" rule, so members never see
+//     duplicates even mid-switchover.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "protocols/multicast_protocol.hpp"
+
+namespace scmp::proto {
+
+class PimSm final : public MulticastProtocol {
+ public:
+  /// `spt_switchover` false keeps everything on the RP tree (the "threshold
+  /// infinity" configuration real deployments use for low-rate groups).
+  PimSm(sim::Network& net, igmp::IgmpDomain& igmp, bool spt_switchover = true);
+
+  std::string name() const override { return "PIM-SM"; }
+
+  /// Assigns the rendezvous point of a group (must precede any join).
+  void set_rp(GroupId group, graph::NodeId rp);
+  graph::NodeId rp_of(GroupId group) const;
+
+  void handle_packet(graph::NodeId at, const sim::Packet& pkt,
+                     graph::NodeId from) override;
+  void send_data(graph::NodeId source, GroupId group) override;
+
+  void interface_joined(graph::NodeId router, GroupId group, int iface,
+                        bool first_iface) override;
+  void interface_left(graph::NodeId router, GroupId group, int iface,
+                      bool last_iface) override;
+
+  // Introspection for tests.
+  bool on_rp_tree(graph::NodeId router, GroupId group) const;
+  bool has_spt_state(graph::NodeId router, GroupId group,
+                     graph::NodeId source) const;
+
+ private:
+  /// (*,G) shared-tree state at one router.
+  struct RptEntry {
+    graph::NodeId upstream = graph::kInvalidNode;  ///< toward RP; invalid at RP
+    std::set<graph::NodeId> downstream;
+    /// (S,G,rpt): children that asked not to receive S via the shared tree.
+    std::map<graph::NodeId, std::set<graph::NodeId>> rpt_pruned;  // S -> kids
+  };
+  /// (S,G) source-tree state at one router.
+  struct SptEntry {
+    graph::NodeId upstream = graph::kInvalidNode;  ///< toward S; invalid at S
+    std::set<graph::NodeId> downstream;
+  };
+
+  enum Flag : std::uint8_t {
+    kStarG = 0,
+    kSG = 1,
+    kSGrpt = 2,
+    /// Cancels an earlier (S,G,rpt) prune: sent when a switched shared-tree
+    /// leaf gains a downstream child that still needs S via the shared tree.
+    kSGrptCancel = 3,
+  };
+
+  RptEntry* rpt(graph::NodeId at, GroupId group);
+  const RptEntry* rpt(graph::NodeId at, GroupId group) const;
+  SptEntry* spt(graph::NodeId at, GroupId group, graph::NodeId source);
+  const SptEntry* spt(graph::NodeId at, GroupId group,
+                      graph::NodeId source) const;
+
+  void send_star_join(graph::NodeId router, GroupId group);
+  void send_sg_join(graph::NodeId router, GroupId group, graph::NodeId source);
+  void handle_join(graph::NodeId at, const sim::Packet& pkt,
+                   graph::NodeId from);
+  void handle_prune(graph::NodeId at, const sim::Packet& pkt,
+                    graph::NodeId from);
+  void handle_data(graph::NodeId at, const sim::Packet& pkt,
+                   graph::NodeId from);
+  void maybe_prune_rpt(graph::NodeId at, GroupId group);
+  void maybe_prune_spt(graph::NodeId at, GroupId group, graph::NodeId source);
+  void consider_switchover(graph::NodeId at, GroupId group,
+                           graph::NodeId source);
+
+  bool spt_switchover_;
+  std::map<GroupId, graph::NodeId> rps_;
+  std::vector<std::map<GroupId, RptEntry>> rpt_state_;
+  std::vector<std::map<std::pair<GroupId, graph::NodeId>, SptEntry>> spt_state_;
+  /// Sources a member DR has already switched (or decided) for.
+  std::vector<std::set<std::pair<GroupId, graph::NodeId>>> switched_;
+  std::vector<std::set<GroupId>> pending_join_;
+};
+
+}  // namespace scmp::proto

@@ -1,0 +1,37 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace scmp::sim {
+
+void EventQueue::schedule_at(SimTime t, Handler fn) {
+  SCMP_EXPECTS(t >= now_);
+  SCMP_EXPECTS(fn != nullptr);
+  heap_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::run_next() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; the handler is moved out via const_cast,
+  // which is safe because the element is popped immediately afterwards.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  SCMP_ASSERT(ev.time >= now_);
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+void EventQueue::run_until(SimTime t) {
+  SCMP_EXPECTS(t >= now_);
+  while (!heap_.empty() && heap_.top().time <= t) run_next();
+  now_ = t;
+}
+
+std::size_t EventQueue::run_all(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && run_next()) ++executed;
+  return executed;
+}
+
+}  // namespace scmp::sim

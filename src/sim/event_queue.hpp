@@ -1,0 +1,63 @@
+// Discrete-event engine: a time-ordered queue of closures. Events scheduled
+// at the same timestamp execute in scheduling order (a monotone sequence
+// number breaks ties), which keeps every simulation fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace scmp::sim {
+
+using SimTime = double;
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current simulation time (the timestamp of the most recent event).
+  SimTime now() const { return now_; }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Schedules `fn` at absolute time `t`. Requires t >= now().
+  void schedule_at(SimTime t, Handler fn);
+
+  /// Schedules `fn` after a relative delay (>= 0).
+  void schedule_in(SimTime delay, Handler fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Executes the earliest event; returns false when the queue is empty.
+  bool run_next();
+
+  /// Runs events with timestamp <= t, then advances the clock to t.
+  void run_until(SimTime t);
+
+  /// Runs until the queue drains or `max_events` have executed; returns the
+  /// number of events executed.
+  std::size_t run_all(std::size_t max_events = SIZE_MAX);
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace scmp::sim

@@ -1,0 +1,50 @@
+#include "sim/link_load.hpp"
+
+#include <algorithm>
+
+namespace scmp::sim {
+
+std::vector<LinkLoad> link_loads(const Network& net) {
+  const graph::Graph& g = net.graph();
+  std::vector<LinkLoad> loads;
+  loads.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const auto& nb : g.neighbors(u)) {
+      if (u >= nb.to) continue;  // one entry per undirected link
+      loads.push_back({u, nb.to, net.bytes_on_link(u, nb.to)});
+    }
+  }
+  std::sort(loads.begin(), loads.end(),
+            [](const LinkLoad& a, const LinkLoad& b) {
+              if (a.bytes != b.bytes) return a.bytes > b.bytes;
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
+  return loads;
+}
+
+std::uint64_t max_link_load(const Network& net) {
+  const auto loads = link_loads(net);
+  return loads.empty() ? 0 : loads.front().bytes;
+}
+
+graph::Graph utilization_adjusted(const graph::Graph& g, const Network& net,
+                                  double alpha) {
+  SCMP_EXPECTS(alpha >= 0.0);
+  const double max_bytes = static_cast<double>(max_link_load(net));
+  graph::Graph out(g.num_nodes());
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const auto& nb : g.neighbors(u)) {
+      if (u >= nb.to) continue;
+      double factor = 1.0;
+      if (max_bytes > 0.0 && alpha > 0.0) {
+        factor += alpha * static_cast<double>(net.bytes_on_link(u, nb.to)) /
+                  max_bytes;
+      }
+      out.add_edge(u, nb.to, nb.attr.delay, nb.attr.cost * factor);
+    }
+  }
+  return out;
+}
+
+}  // namespace scmp::sim

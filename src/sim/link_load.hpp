@@ -1,0 +1,37 @@
+// Utilisation-driven link costs (paper §II-D: "Link cost is determined by
+// the utilization of the link. The higher the utilization, the higher the
+// link cost"). The paper's simulations keep costs static; this module
+// implements the model itself so the service-centric architecture's headline
+// flexibility — the m-router re-optimising trees against observed load
+// without touching any other router — can be exercised end to end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/network.hpp"
+
+namespace scmp::sim {
+
+struct LinkLoad {
+  graph::NodeId u = graph::kInvalidNode;
+  graph::NodeId v = graph::kInvalidNode;
+  std::uint64_t bytes = 0;
+};
+
+/// Per-link traffic observed so far, sorted by descending bytes
+/// (deterministic tie-break by node ids).
+std::vector<LinkLoad> link_loads(const Network& net);
+
+/// Bytes on the busiest link (0 when nothing was sent).
+std::uint64_t max_link_load(const Network& net);
+
+/// A copy of the topology with utilisation-adjusted costs:
+///   cost' = cost * (1 + alpha * bytes(link) / max_bytes)
+/// Delays are unchanged. With alpha = 0 or an idle network this is the
+/// identity.
+graph::Graph utilization_adjusted(const graph::Graph& g, const Network& net,
+                                  double alpha);
+
+}  // namespace scmp::sim

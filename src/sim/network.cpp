@@ -1,0 +1,258 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/log.hpp"
+
+namespace scmp::sim {
+
+Network::Network(const graph::Graph& g, EventQueue& queue,
+                 double bandwidth_bps, double delay_scale)
+    : graph_(g),
+      queue_(&queue),
+      routing_(g, graph::Metric::kDelay),
+      agents_(static_cast<std::size_t>(g.num_nodes()), nullptr),
+      bandwidth_bps_(bandwidth_bps),
+      delay_scale_(delay_scale) {
+  SCMP_EXPECTS(bandwidth_bps > 0.0 && delay_scale > 0.0);
+  link_free_.resize(static_cast<std::size_t>(g.num_nodes()));
+  link_bytes_.resize(static_cast<std::size_t>(g.num_nodes()));
+  link_backlog_.resize(static_cast<std::size_t>(g.num_nodes()));
+  node_bandwidth_.assign(static_cast<std::size_t>(g.num_nodes()),
+                         bandwidth_bps);
+  switch_bps_.assign(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  switch_free_.assign(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    link_free_[static_cast<std::size_t>(u)].assign(g.neighbors(u).size(), 0.0);
+    link_bytes_[static_cast<std::size_t>(u)].assign(g.neighbors(u).size(), 0);
+    link_backlog_[static_cast<std::size_t>(u)].assign(g.neighbors(u).size(),
+                                                      0);
+  }
+}
+
+void Network::set_node_bandwidth(graph::NodeId node, double bps) {
+  SCMP_EXPECTS(graph_.valid(node) && bps > 0.0);
+  node_bandwidth_[static_cast<std::size_t>(node)] = bps;
+}
+
+double Network::node_bandwidth(graph::NodeId node) const {
+  SCMP_EXPECTS(graph_.valid(node));
+  return node_bandwidth_[static_cast<std::size_t>(node)];
+}
+
+void Network::set_node_queue_limit(graph::NodeId node, std::size_t packets) {
+  SCMP_EXPECTS(graph_.valid(node));
+  node_queue_limit_[node] = packets;
+}
+
+std::size_t Network::node_queue_limit(graph::NodeId node) const {
+  const auto it = node_queue_limit_.find(node);
+  return it == node_queue_limit_.end() ? queue_limit_ : it->second;
+}
+
+void Network::set_node_switch_capacity(graph::NodeId node, double bps) {
+  SCMP_EXPECTS(graph_.valid(node) && bps > 0.0);
+  switch_bps_[static_cast<std::size_t>(node)] = bps;
+}
+
+int Network::link_backlog(graph::NodeId from, graph::NodeId to) const {
+  const auto& nbs = graph_.neighbors(from);
+  for (std::size_t i = 0; i < nbs.size(); ++i) {
+    if (nbs[i].to == to)
+      return link_backlog_[static_cast<std::size_t>(from)][i];
+  }
+  SCMP_EXPECTS(false && "no such link");
+  return 0;
+}
+
+void Network::fail_link(graph::NodeId u, graph::NodeId v) {
+  SCMP_EXPECTS(graph_.has_edge(u, v));
+  // Preserve the per-directed-link byte counters across the index reshuffle.
+  std::map<std::pair<graph::NodeId, graph::NodeId>, std::uint64_t> bytes;
+  for (graph::NodeId from = 0; from < graph_.num_nodes(); ++from) {
+    const auto& nbs = graph_.neighbors(from);
+    for (std::size_t i = 0; i < nbs.size(); ++i)
+      bytes[{from, nbs[i].to}] =
+          link_bytes_[static_cast<std::size_t>(from)][i];
+  }
+  graph_.remove_edge(u, v);
+  SCMP_EXPECTS(graph_.is_connected());  // unicast routing needs reachability
+
+  routing_ = UnicastRouting(graph_, graph::Metric::kDelay);
+  for (graph::NodeId from = 0; from < graph_.num_nodes(); ++from) {
+    const auto& nbs = graph_.neighbors(from);
+    link_free_[static_cast<std::size_t>(from)].assign(nbs.size(), 0.0);
+    link_bytes_[static_cast<std::size_t>(from)].assign(nbs.size(), 0);
+    link_backlog_[static_cast<std::size_t>(from)].assign(nbs.size(), 0);
+    for (std::size_t i = 0; i < nbs.size(); ++i)
+      link_bytes_[static_cast<std::size_t>(from)][i] =
+          bytes[{from, nbs[i].to}];
+  }
+}
+
+void Network::attach(graph::NodeId node, RouterAgent* agent) {
+  SCMP_EXPECTS(graph_.valid(node));
+  agents_[static_cast<std::size_t>(node)] = agent;
+}
+
+RouterAgent* Network::agent(graph::NodeId node) const {
+  SCMP_EXPECTS(graph_.valid(node));
+  return agents_[static_cast<std::size_t>(node)];
+}
+
+double Network::link_delay_seconds(graph::NodeId u, graph::NodeId v) const {
+  const graph::EdgeAttr* e = graph_.edge(u, v);
+  SCMP_EXPECTS(e != nullptr);
+  return e->delay * delay_scale_;
+}
+
+void Network::transmit(graph::NodeId from, graph::NodeId to, Packet pkt,
+                       std::function<void(Packet)> on_arrival) {
+  const graph::EdgeAttr* e = graph_.edge(from, to);
+  if (e == nullptr) {
+    // The interface is down (the link failed while this router still held
+    // forwarding state across it): drop, as a real router would.
+    ++stats_.no_link_drops;
+    return;
+  }
+
+  // Overhead accounting: every link crossing contributes the link's cost
+  // (paper §IV-B definition of data/protocol overhead).
+  if (pkt.is_data()) {
+    stats_.data_overhead += e->cost;
+    ++stats_.data_link_crossings;
+  } else {
+    stats_.protocol_overhead += e->cost;
+    ++stats_.protocol_link_crossings;
+  }
+
+  // FIFO transmission on the directed link, then propagation.
+  const auto& nbs = graph_.neighbors(from);
+  std::size_t slot = nbs.size();
+  for (std::size_t i = 0; i < nbs.size(); ++i) {
+    if (nbs[i].to == to) {
+      slot = i;
+      break;
+    }
+  }
+  SCMP_ASSERT(slot < nbs.size());
+
+  // Drop-tail egress queue (the finite buffers behind the paper's §I
+  // traffic-concentration argument).
+  int& backlog = link_backlog_[static_cast<std::size_t>(from)][slot];
+  if (static_cast<std::size_t>(backlog) >= node_queue_limit(from)) {
+    ++stats_.queue_drops;
+    return;
+  }
+  ++backlog;
+
+  link_bytes_[static_cast<std::size_t>(from)][slot] += pkt.size_bytes;
+  if (on_transmit_) on_transmit_(from, to, pkt, queue_->now());
+
+  // The packet first crosses the router's switching fabric (shared across
+  // all ports; unlimited unless configured), then its egress port.
+  SimTime ready = queue_->now();
+  const double switch_bps = switch_bps_[static_cast<std::size_t>(from)];
+  if (switch_bps > 0.0) {
+    SimTime& sw_free = switch_free_[static_cast<std::size_t>(from)];
+    const double sw_time =
+        static_cast<double>(pkt.size_bytes) * 8.0 / switch_bps;
+    sw_free = std::max(ready, sw_free) + sw_time;
+    ready = sw_free;
+  }
+
+  SimTime& free_at = link_free_[static_cast<std::size_t>(from)][slot];
+  const double tx = static_cast<double>(pkt.size_bytes) * 8.0 /
+                    node_bandwidth_[static_cast<std::size_t>(from)];
+  const SimTime start = std::max(ready, free_at);
+  free_at = start + tx;
+  // The packet leaves the egress queue when its transmission completes. The
+  // slot is re-resolved at fire time: fail_link() reshuffles the adjacency
+  // (and resets the counters of removed links).
+  queue_->schedule_at(free_at, [this, from, to]() {
+    const auto& neighbors = graph_.neighbors(from);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      if (neighbors[i].to == to) {
+        --link_backlog_[static_cast<std::size_t>(from)][i];
+        return;
+      }
+    }
+  });
+  const SimTime arrival = free_at + e->delay * delay_scale_;
+  queue_->schedule_at(arrival,
+                      [fn = std::move(on_arrival), p = std::move(pkt)]() mutable {
+                        fn(std::move(p));
+                      });
+}
+
+void Network::send_link(graph::NodeId from, graph::NodeId to, Packet pkt) {
+  log_trace("link ", from, "->", to, " ", describe(pkt));
+  transmit(from, to, std::move(pkt), [this, from, to](Packet p) {
+    RouterAgent* a = agents_[static_cast<std::size_t>(to)];
+    SCMP_ASSERT(a != nullptr);
+    a->handle(p, from);
+  });
+}
+
+void Network::forward_unicast(graph::NodeId at, graph::NodeId prev,
+                              Packet pkt) {
+  if (at == pkt.dst) {
+    RouterAgent* a = agents_[static_cast<std::size_t>(at)];
+    SCMP_ASSERT(a != nullptr);
+    a->handle(pkt, prev);
+    return;
+  }
+  const graph::NodeId hop = routing_.next_hop(at, pkt.dst);
+  transmit(at, hop, std::move(pkt),
+           [this, at, hop](Packet p) { forward_unicast(hop, at, std::move(p)); });
+}
+
+void Network::send_unicast(graph::NodeId from, Packet pkt) {
+  SCMP_EXPECTS(graph_.valid(pkt.dst));
+  log_trace("unicast ", from, "=>", pkt.dst, " ", describe(pkt));
+  if (from == pkt.dst) {
+    // Local delivery still goes through the event queue for determinism.
+    queue_->schedule_in(0.0, [this, from, p = std::move(pkt)]() {
+      RouterAgent* a = agents_[static_cast<std::size_t>(from)];
+      SCMP_ASSERT(a != nullptr);
+      a->handle(p, graph::kInvalidNode);
+    });
+    return;
+  }
+  forward_unicast(from, graph::kInvalidNode, std::move(pkt));
+}
+
+void Network::inject(graph::NodeId at, Packet pkt) {
+  queue_->schedule_in(0.0, [this, at, p = std::move(pkt)]() {
+    RouterAgent* a = agents_[static_cast<std::size_t>(at)];
+    SCMP_ASSERT(a != nullptr);
+    a->handle(p, graph::kInvalidNode);
+  });
+}
+
+std::uint64_t Network::bytes_on_link(graph::NodeId u, graph::NodeId v) const {
+  SCMP_EXPECTS(graph_.edge(u, v) != nullptr);
+  std::uint64_t total = 0;
+  auto add_direction = [&](graph::NodeId from, graph::NodeId to) {
+    const auto& nbs = graph_.neighbors(from);
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      if (nbs[i].to == to) {
+        total += link_bytes_[static_cast<std::size_t>(from)][i];
+        return;
+      }
+    }
+  };
+  add_direction(u, v);
+  add_direction(v, u);
+  return total;
+}
+
+void Network::report_delivery(const Packet& pkt, graph::NodeId member) {
+  ++stats_.deliveries;
+  const double e2e = queue_->now() - pkt.created_at;
+  stats_.max_end_to_end_delay = std::max(stats_.max_end_to_end_delay, e2e);
+  if (on_delivery_) on_delivery_(pkt, member, queue_->now());
+}
+
+}  // namespace scmp::sim

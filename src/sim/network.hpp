@@ -1,0 +1,166 @@
+// The simulated domain: the topology, its link-state unicast substrate, the
+// per-router protocol agents, and the two bandwidth-accounting counters the
+// paper evaluates (data overhead and protocol overhead, both in link-cost
+// units per link crossing, §IV-B).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/packet.hpp"
+#include "sim/routing.hpp"
+
+namespace scmp::sim {
+
+/// Protocol logic attached to one router. `from` is the neighbouring router
+/// the packet arrived from, or kInvalidNode when locally injected.
+class RouterAgent {
+ public:
+  virtual ~RouterAgent() = default;
+  virtual void handle(const Packet& pkt, graph::NodeId from) = 0;
+};
+
+struct NetStats {
+  double data_overhead = 0.0;      ///< sum of link costs crossed by data
+  double protocol_overhead = 0.0;  ///< sum of link costs crossed by control
+  std::uint64_t data_link_crossings = 0;
+  std::uint64_t protocol_link_crossings = 0;
+  std::uint64_t deliveries = 0;
+  double max_end_to_end_delay = 0.0;  ///< seconds, over all data deliveries
+  /// Sends attempted over a non-existent (e.g. just-failed) link; the
+  /// sending router sees the interface down and drops the packet.
+  std::uint64_t no_link_drops = 0;
+  /// Packets dropped because a finite egress queue overflowed (the paper's
+  /// §I traffic-concentration failure mode).
+  std::uint64_t queue_drops = 0;
+};
+
+class Network {
+ public:
+  /// `delay_scale` converts graph delay units (grid distances, up to ~65534)
+  /// to seconds; the default puts a worst-case single link at ~65 ms.
+  /// The network keeps its own copy of the topology so links can fail at
+  /// runtime (fail_link).
+  Network(const graph::Graph& g, EventQueue& queue,
+          double bandwidth_bps = 1e9, double delay_scale = 1e-6);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  const graph::Graph& graph() const { return graph_; }
+
+  /// Removes the link {u, v} and reconverges the unicast routing substrate
+  /// (the link-state protocol every router runs). Packets already in flight
+  /// on the link still arrive. The residual topology must stay connected
+  /// (unicast routing assumes reachability). Multicast protocols are told
+  /// separately via MulticastProtocol::on_topology_change().
+  void fail_link(graph::NodeId u, graph::NodeId v);
+  const UnicastRouting& routing() const { return routing_; }
+  EventQueue& queue() { return *queue_; }
+  SimTime now() const { return queue_->now(); }
+  NetStats& stats() { return stats_; }
+  const NetStats& stats() const { return stats_; }
+
+  /// Registers the protocol agent for a router (non-owning).
+  void attach(graph::NodeId node, RouterAgent* agent);
+  RouterAgent* agent(graph::NodeId node) const;
+
+  /// Transmits over the physical edge {from, to} (must exist); the agent at
+  /// `to` receives handle(pkt, from) after propagation + transmission delay.
+  void send_link(graph::NodeId from, graph::NodeId to, Packet pkt);
+
+  /// IP unicast to pkt.dst: forwarded hop-by-hop on the shortest-delay path;
+  /// only the destination's agent sees the packet (intermediate routers
+  /// forward at the IP layer, exactly how SCMP JOIN/LEAVE and encapsulated
+  /// data travel in the paper).
+  void send_unicast(graph::NodeId from, Packet pkt);
+
+  /// Hands a locally-originated packet to a node's own agent at current time.
+  void inject(graph::NodeId at, Packet pkt);
+
+  /// Fresh identity for an original data packet.
+  std::uint64_t next_uid() { return ++uid_counter_; }
+
+  using DeliveryCallback =
+      std::function<void(const Packet&, graph::NodeId member, SimTime at)>;
+  void set_delivery_callback(DeliveryCallback cb) { on_delivery_ = std::move(cb); }
+
+  /// Optional structured trace of every link transmission (for debugging and
+  /// trace-driven analysis); called at send time.
+  using TransmitCallback = std::function<void(graph::NodeId from,
+                                              graph::NodeId to,
+                                              const Packet&, SimTime at)>;
+  void set_transmit_callback(TransmitCallback cb) {
+    on_transmit_ = std::move(cb);
+  }
+
+  /// Bytes transmitted over the undirected link {u, v} so far (both
+  /// directions; the paper's utilisation-driven link-cost model feeds on
+  /// this).
+  std::uint64_t bytes_on_link(graph::NodeId u, graph::NodeId v) const;
+
+  /// Protocol agents call this when a data packet reaches a member router.
+  void report_delivery(const Packet& pkt, graph::NodeId member);
+
+  /// Propagation delay of edge {u, v} in seconds.
+  double link_delay_seconds(graph::NodeId u, graph::NodeId v) const;
+
+  /// Caps every egress queue at `packets` waiting for transmission; packets
+  /// arriving at a full queue are dropped (drop-tail). Default: unlimited.
+  void set_queue_limit(std::size_t packets) { queue_limit_ = packets; }
+
+  /// Per-router override of the egress queue depth — the m-router's large
+  /// input/output buffers (paper Fig. 2(b)) that let it absorb many-to-many
+  /// bursts an ordinary router would drop.
+  void set_node_queue_limit(graph::NodeId node, std::size_t packets);
+  std::size_t node_queue_limit(graph::NodeId node) const;
+
+  /// Overrides the port line rate of one router's outgoing links — how the
+  /// paper's m-router differs physically from an i-router (§II-A: "each of
+  /// its input/output links has sufficiently high bandwidth").
+  void set_node_bandwidth(graph::NodeId node, double bps);
+  double node_bandwidth(graph::NodeId node) const;
+
+  /// Aggregate switching capacity of one router: every packet it transmits,
+  /// on any port, must first pass its switching fabric, which serialises at
+  /// this rate. Default: unlimited (ports are the only bottleneck). An
+  /// ordinary router has a capacity comparable to its port rate; the
+  /// m-router's n x n fabric is what removes this bottleneck (§II-B).
+  void set_node_switch_capacity(graph::NodeId node, double bps);
+
+  /// Packets currently waiting on or being transmitted by the directed link
+  /// from -> to (diagnostic for congestion tests).
+  int link_backlog(graph::NodeId from, graph::NodeId to) const;
+
+ private:
+  void transmit(graph::NodeId from, graph::NodeId to, Packet pkt,
+                std::function<void(Packet)> on_arrival);
+  void forward_unicast(graph::NodeId at, graph::NodeId prev, Packet pkt);
+
+  graph::Graph graph_;
+  EventQueue* queue_;
+  UnicastRouting routing_;
+  NetStats stats_;
+  std::vector<RouterAgent*> agents_;
+  /// FIFO serialisation per directed link: time the link becomes free.
+  std::vector<std::vector<SimTime>> link_free_;  // indexed like adjacency
+  /// Bytes sent per directed link, indexed like adjacency.
+  std::vector<std::vector<std::uint64_t>> link_bytes_;
+  /// Packets queued or in transmission per directed link.
+  std::vector<std::vector<int>> link_backlog_;
+  std::size_t queue_limit_ = SIZE_MAX;
+  std::map<graph::NodeId, std::size_t> node_queue_limit_;
+  std::vector<double> node_bandwidth_;  ///< per-router port rate (bps)
+  std::vector<double> switch_bps_;      ///< 0 = unlimited
+  std::vector<SimTime> switch_free_;    ///< per-router fabric serialiser
+  double bandwidth_bps_;
+  double delay_scale_;
+  std::uint64_t uid_counter_ = 0;
+  DeliveryCallback on_delivery_;
+  TransmitCallback on_transmit_;
+};
+
+}  // namespace scmp::sim

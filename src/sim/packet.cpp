@@ -1,0 +1,43 @@
+#include "sim/packet.hpp"
+
+#include <sstream>
+
+namespace scmp::sim {
+
+bool is_data_type(PacketType t) {
+  return t == PacketType::kData || t == PacketType::kDataEncap;
+}
+
+const char* to_string(PacketType t) {
+  switch (t) {
+    case PacketType::kData: return "DATA";
+    case PacketType::kDataEncap: return "DATA_ENCAP";
+    case PacketType::kJoin: return "JOIN";
+    case PacketType::kLeave: return "LEAVE";
+    case PacketType::kTree: return "TREE";
+    case PacketType::kBranch: return "BRANCH";
+    case PacketType::kPrune: return "PRUNE";
+    case PacketType::kClear: return "CLEAR";
+    case PacketType::kCbtJoin: return "CBT_JOIN";
+    case PacketType::kCbtAck: return "CBT_ACK";
+    case PacketType::kCbtQuit: return "CBT_QUIT";
+    case PacketType::kDvmrpPrune: return "DVMRP_PRUNE";
+    case PacketType::kDvmrpGraft: return "DVMRP_GRAFT";
+    case PacketType::kPimJoin: return "PIM_JOIN";
+    case PacketType::kPimPrune: return "PIM_PRUNE";
+    case PacketType::kGroupLsa: return "GROUP_LSA";
+    case PacketType::kIgmpQuery: return "IGMP_QUERY";
+    case PacketType::kIgmpReport: return "IGMP_REPORT";
+    case PacketType::kIgmpLeave: return "IGMP_LEAVE";
+  }
+  return "UNKNOWN";
+}
+
+std::string describe(const Packet& p) {
+  std::ostringstream ss;
+  ss << to_string(p.type) << "{group=" << p.group << " src=" << p.src
+     << " dst=" << p.dst << " uid=" << p.uid << "}";
+  return ss.str();
+}
+
+}  // namespace scmp::sim

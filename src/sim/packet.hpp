@@ -1,0 +1,76 @@
+// Packet model shared by SCMP and the three baseline protocols. One struct
+// with per-protocol fields keeps the simulator's delivery path uniform; the
+// overhead accounting only needs the data/protocol split (paper §IV-B).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace scmp::sim {
+
+enum class PacketType {
+  // Multicast payload traffic (counts toward *data* overhead).
+  kData,       ///< native multicast data on a tree
+  kDataEncap,  ///< data unicast-encapsulated toward the m-router / core
+
+  // SCMP control (paper §III).
+  kJoin,    ///< DR -> m-router join request
+  kLeave,   ///< DR -> m-router leave notification
+  kTree,    ///< self-routing recursive TREE packet (payload = codec bytes)
+  kBranch,  ///< incremental BRANCH packet (path = router sequence)
+  kPrune,   ///< hop-by-hop upstream prune
+  kClear,   ///< m-router -> stale i-router: drop routing entry (tree restructure)
+
+  // CBT control.
+  kCbtJoin,  ///< hop-by-hop join request toward the core
+  kCbtAck,   ///< acknowledgement from the graft node back to the joiner
+  kCbtQuit,  ///< hop-by-hop quit toward the core
+
+  // DVMRP control.
+  kDvmrpPrune,  ///< upstream prune of a (source, group) branch
+  kDvmrpGraft,  ///< upstream graft re-attaching a pruned branch
+
+  // PIM-SM control (extension; the paper names PIM-SM as the other shared-
+  // tree protocol but does not simulate it).
+  kPimJoin,   ///< hop-by-hop (*,G) join toward the RP or (S,G) join toward S
+  kPimPrune,  ///< hop-by-hop (*,G)/(S,G)/(S,G,rpt) prune
+
+  // MOSPF control.
+  kGroupLsa,  ///< flooded group-membership LSA
+
+  // IGMP (subnet-local; crosses no inter-router link).
+  kIgmpQuery,
+  kIgmpReport,
+  kIgmpLeave,
+};
+
+/// True for packet types that carry application payload.
+bool is_data_type(PacketType t);
+
+const char* to_string(PacketType t);
+
+/// Default sizes used for transmission-delay modelling (bytes).
+inline constexpr std::size_t kDataPacketBytes = 1000;
+inline constexpr std::size_t kControlPacketBytes = 64;
+
+struct Packet {
+  PacketType type = PacketType::kData;
+  int group = -1;
+  graph::NodeId src = graph::kInvalidNode;  ///< original originator
+  graph::NodeId dst = graph::kInvalidNode;  ///< unicast destination, if any
+  std::uint64_t uid = 0;                    ///< identity of the original send
+  double created_at = 0.0;                  ///< send time of the original data
+  std::size_t size_bytes = kControlPacketBytes;
+  std::vector<graph::NodeId> path;     ///< BRANCH router sequence, etc.
+  std::vector<std::uint8_t> payload;   ///< TREE packet codec bytes, etc.
+
+  bool is_data() const { return is_data_type(type); }
+};
+
+/// Human-readable one-liner for traces.
+std::string describe(const Packet& p);
+
+}  // namespace scmp::sim

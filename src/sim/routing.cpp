@@ -1,0 +1,66 @@
+#include "sim/routing.hpp"
+
+namespace scmp::sim {
+
+UnicastRouting::UnicastRouting(const graph::Graph& g, graph::Metric metric)
+    : n_(g.num_nodes()) {
+  next_hop_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
+                   graph::kInvalidNode);
+  dist_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
+               graph::kUnreachable);
+  for (graph::NodeId from = 0; from < n_; ++from) {
+    const graph::ShortestPaths sp = graph::dijkstra(g, from, metric);
+    // first_hop[v] = first node after `from` on the canonical path from->v,
+    // computed in one pass by memoising over the predecessor tree.
+    std::vector<graph::NodeId> first_hop(static_cast<std::size_t>(n_),
+                                         graph::kInvalidNode);
+    first_hop[static_cast<std::size_t>(from)] = from;
+    for (graph::NodeId v = 0; v < n_; ++v) {
+      if (!sp.reachable(v) ||
+          first_hop[static_cast<std::size_t>(v)] != graph::kInvalidNode)
+        continue;
+      // Walk up the predecessor tree until a node with a known first hop.
+      std::vector<graph::NodeId> chain;
+      graph::NodeId cur = v;
+      while (cur != from &&
+             first_hop[static_cast<std::size_t>(cur)] == graph::kInvalidNode) {
+        chain.push_back(cur);
+        cur = sp.parent[static_cast<std::size_t>(cur)];
+      }
+      // If the walk reached `from`, the deepest chain entry is its direct
+      // child and thus the first hop for the whole chain.
+      graph::NodeId hop = (cur == from)
+                              ? graph::kInvalidNode
+                              : first_hop[static_cast<std::size_t>(cur)];
+      for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        if (hop == graph::kInvalidNode) hop = *it;
+        first_hop[static_cast<std::size_t>(*it)] = hop;
+      }
+    }
+    for (graph::NodeId v = 0; v < n_; ++v) {
+      const auto idx = static_cast<std::size_t>(from) *
+                           static_cast<std::size_t>(n_) +
+                       static_cast<std::size_t>(v);
+      next_hop_[idx] = first_hop[static_cast<std::size_t>(v)];
+      dist_[idx] = sp.distance(v);
+    }
+  }
+}
+
+graph::NodeId UnicastRouting::next_hop(graph::NodeId from,
+                                       graph::NodeId to) const {
+  SCMP_EXPECTS(from >= 0 && from < n_ && to >= 0 && to < n_);
+  const graph::NodeId hop =
+      next_hop_[static_cast<std::size_t>(from) * static_cast<std::size_t>(n_) +
+                static_cast<std::size_t>(to)];
+  SCMP_EXPECTS(hop != graph::kInvalidNode);
+  return hop;
+}
+
+double UnicastRouting::distance(graph::NodeId from, graph::NodeId to) const {
+  SCMP_EXPECTS(from >= 0 && from < n_ && to >= 0 && to < n_);
+  return dist_[static_cast<std::size_t>(from) * static_cast<std::size_t>(n_) +
+               static_cast<std::size_t>(to)];
+}
+
+}  // namespace scmp::sim

@@ -1,0 +1,42 @@
+// The link-state unicast routing substrate every router in the domain is
+// assumed to run (paper §II-D: "each domain also runs a unicast routing
+// protocol", a link-state one). We model its converged result: a dense
+// next-hop table over shortest-delay paths, which also provides DVMRP's
+// reverse-path-forwarding checks.
+#pragma once
+
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+#include "graph/graph.hpp"
+
+namespace scmp::sim {
+
+class UnicastRouting {
+ public:
+  explicit UnicastRouting(const graph::Graph& g,
+                          graph::Metric metric = graph::Metric::kDelay);
+
+  /// First hop on the canonical shortest path from `from` to `to`.
+  /// Returns `to` itself when they are equal. Requires reachability.
+  graph::NodeId next_hop(graph::NodeId from, graph::NodeId to) const;
+
+  /// Metric distance of the shortest path from `from` to `to`.
+  double distance(graph::NodeId from, graph::NodeId to) const;
+
+  /// DVMRP RPF: the neighbor `at` expects (source, *) traffic to arrive from,
+  /// i.e. the first hop of at's shortest path toward the source (links are
+  /// symmetric, so forward and reverse shortest paths coincide).
+  graph::NodeId rpf_neighbor(graph::NodeId at, graph::NodeId source) const {
+    return next_hop(at, source);
+  }
+
+  int num_nodes() const { return n_; }
+
+ private:
+  int n_ = 0;
+  std::vector<graph::NodeId> next_hop_;  ///< n*n, row = from
+  std::vector<double> dist_;             ///< n*n, row = from
+};
+
+}  // namespace scmp::sim

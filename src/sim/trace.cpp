@@ -1,0 +1,38 @@
+#include "sim/trace.hpp"
+
+namespace scmp::sim {
+
+TraceRecorder::TraceRecorder(Network& net) {
+  net.set_transmit_callback([this](graph::NodeId from, graph::NodeId to,
+                                   const Packet& pkt, SimTime at) {
+    events_.push_back(TraceEvent{at, from, to, pkt.type, pkt.group, pkt.src,
+                                 pkt.uid, pkt.size_bytes});
+  });
+}
+
+std::vector<TraceEvent> TraceRecorder::of_type(PacketType type) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_)
+    if (e.type == type) out.push_back(e);
+  return out;
+}
+
+std::vector<graph::NodeId> TraceRecorder::path_of(std::uint64_t uid,
+                                                  PacketType type) const {
+  std::vector<graph::NodeId> path;
+  for (const TraceEvent& e : events_) {
+    if (e.type != type || e.uid != uid) continue;
+    if (path.empty()) path.push_back(e.from);
+    path.push_back(e.to);
+  }
+  return path;
+}
+
+std::size_t TraceRecorder::count(PacketType type) const {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events_)
+    if (e.type == type) ++n;
+  return n;
+}
+
+}  // namespace scmp::sim

@@ -1,0 +1,54 @@
+#include "topo/arpanet.hpp"
+
+namespace scmp::topo {
+
+namespace {
+
+// 16 long-haul chords layered over the 48-node Hamiltonian ring. Together
+// with the ring they give every node degree 2..4, matching the sparse
+// backbone character of the ARPANET maps used in routing studies.
+constexpr int kChords[][2] = {
+    {0, 12}, {4, 20},  {8, 28},  {16, 36}, {24, 40}, {2, 46},
+    {6, 34}, {10, 42}, {14, 30}, {18, 44}, {22, 38}, {26, 47},
+    {3, 17}, {7, 25},  {11, 33}, {15, 41},
+};
+
+/// Fixed site coordinates: an 8-column snake over 6 rows with deterministic
+/// jitter, spanning the full 32767-grid like the Waxman topologies.
+Point site_coordinates(int i) {
+  const int row = i / 8;
+  const int col = (row % 2 == 0) ? (i % 8) : (7 - i % 8);
+  const int jitter_x = (i * 37) % 997 * 3;
+  const int jitter_y = (i * 61) % 1009 * 3;
+  return Point{col * 4400 + jitter_x, row * 6200 + jitter_y};
+}
+
+}  // namespace
+
+Topology arpanet(Rng& rng) {
+  Topology topo;
+  topo.name = "arpanet";
+  topo.graph = graph::Graph(kArpanetNodes);
+  topo.coords.resize(kArpanetNodes);
+  for (int i = 0; i < kArpanetNodes; ++i)
+    topo.coords[static_cast<std::size_t>(i)] = site_coordinates(i);
+
+  auto add = [&](int u, int v) {
+    if (topo.graph.has_edge(u, v)) return;
+    const double cost = static_cast<double>(
+        manhattan(topo.coords[static_cast<std::size_t>(u)],
+                  topo.coords[static_cast<std::size_t>(v)]));
+    topo.graph.add_edge(u, v, rng.uniform_real(0.0, cost), cost);
+  };
+
+  // The backbone ring.
+  for (int i = 0; i < kArpanetNodes; ++i) add(i, (i + 1) % kArpanetNodes);
+  // Long-haul chords.
+  for (const auto& chord : kChords) add(chord[0], chord[1]);
+
+  SCMP_ENSURES(topo.graph.num_edges() == kArpanetLinks);
+  SCMP_ENSURES(topo.graph.is_connected());
+  return topo;
+}
+
+}  // namespace scmp::topo

@@ -1,0 +1,29 @@
+// The ARPANET topology used as the first evaluation network in §IV-B.
+//
+// The paper's exact ARPANET map is not published, but its member sweep runs
+// to 40 group members, so the map must have had well over 40 nodes (the
+// late-1980s ARPANET). We use a 48-node, 64-link continental backbone with
+// the ARPANET's characteristic ring-with-chords structure and node degrees
+// between 2 and 4: a Hamiltonian ring over a jittered 8x6 geographic grid
+// plus 16 long-haul chords. Coordinates live on the same 32767 x 32767 grid
+// as the random topologies; link cost is the Manhattan distance and link
+// delay is Uniform(0, cost), i.e. the identical cost/delay model as §IV-A,
+// so the three evaluation topologies differ only in structure.
+#pragma once
+
+#include "topo/waxman.hpp"
+#include "util/rng.hpp"
+
+namespace scmp::topo {
+
+/// Number of nodes in the ARPANET-like map.
+inline constexpr int kArpanetNodes = 48;
+
+/// Number of links in the ARPANET-like map.
+inline constexpr int kArpanetLinks = 64;
+
+/// Builds the ARPANET-like topology; `rng` draws only the link delays (the
+/// adjacency and coordinates are fixed).
+Topology arpanet(Rng& rng);
+
+}  // namespace scmp::topo

@@ -1,0 +1,126 @@
+#include "topo/waxman.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace scmp::topo {
+
+namespace {
+
+/// Connects a possibly-disconnected graph by repeatedly joining the two
+/// closest nodes that lie in different components, preserving the cost/delay
+/// model (cost = Manhattan distance, delay = U(0, cost)).
+void repair_connectivity(graph::Graph& g, const std::vector<Point>& coords,
+                         Rng& rng) {
+  const int n = g.num_nodes();
+  std::vector<int> comp(static_cast<std::size_t>(n), -1);
+  auto label_components = [&]() {
+    std::fill(comp.begin(), comp.end(), -1);
+    int next = 0;
+    for (int s = 0; s < n; ++s) {
+      if (comp[static_cast<std::size_t>(s)] != -1) continue;
+      std::vector<int> stack{s};
+      comp[static_cast<std::size_t>(s)] = next;
+      while (!stack.empty()) {
+        const int u = stack.back();
+        stack.pop_back();
+        for (const auto& nb : g.neighbors(u)) {
+          if (comp[static_cast<std::size_t>(nb.to)] == -1) {
+            comp[static_cast<std::size_t>(nb.to)] = next;
+            stack.push_back(nb.to);
+          }
+        }
+      }
+      ++next;
+    }
+    return next;
+  };
+
+  while (label_components() > 1) {
+    int best_u = -1, best_v = -1;
+    long best_d = std::numeric_limits<long>::max();
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (comp[static_cast<std::size_t>(u)] ==
+            comp[static_cast<std::size_t>(v)])
+          continue;
+        const long d = manhattan(coords[static_cast<std::size_t>(u)],
+                                 coords[static_cast<std::size_t>(v)]);
+        if (d < best_d) {
+          best_d = d;
+          best_u = u;
+          best_v = v;
+        }
+      }
+    }
+    SCMP_ASSERT(best_u != -1);
+    const double cost = static_cast<double>(best_d);
+    g.add_edge(best_u, best_v, rng.uniform_real(0.0, cost), cost);
+  }
+}
+
+}  // namespace
+
+Topology waxman(const WaxmanConfig& cfg, Rng& rng) {
+  SCMP_EXPECTS(cfg.num_nodes >= 2 && cfg.grid >= 1);
+  SCMP_EXPECTS(cfg.alpha > 0.0 && cfg.beta > 0.0);
+
+  Topology topo;
+  topo.name = "waxman-n" + std::to_string(cfg.num_nodes);
+  topo.graph = graph::Graph(cfg.num_nodes);
+  topo.coords.resize(static_cast<std::size_t>(cfg.num_nodes));
+  for (auto& p : topo.coords) {
+    p.x = static_cast<int>(rng.uniform_int(0, cfg.grid));
+    p.y = static_cast<int>(rng.uniform_int(0, cfg.grid));
+  }
+
+  const double L = 2.0 * cfg.grid;  // maximum Manhattan distance
+  for (int u = 0; u < cfg.num_nodes; ++u) {
+    for (int v = u + 1; v < cfg.num_nodes; ++v) {
+      const int d = manhattan(topo.coords[static_cast<std::size_t>(u)],
+                              topo.coords[static_cast<std::size_t>(v)]);
+      if (d == 0) continue;  // coincident nodes would make a zero-cost link
+      const double p =
+          cfg.beta * std::exp(-static_cast<double>(d) / (cfg.alpha * L));
+      if (rng.chance(p)) {
+        const double cost = static_cast<double>(d);
+        topo.graph.add_edge(u, v, rng.uniform_real(0.0, cost), cost);
+      }
+    }
+  }
+  repair_connectivity(topo.graph, topo.coords, rng);
+  SCMP_ENSURES(topo.graph.is_connected());
+  return topo;
+}
+
+Topology waxman_with_degree(int num_nodes, double target_degree, Rng& rng,
+                            double tolerance) {
+  SCMP_EXPECTS(target_degree > 1.0);
+  WaxmanConfig cfg;
+  cfg.num_nodes = num_nodes;
+  cfg.beta = 0.2;
+  // Multiplicative calibration of beta: edge count scales ~linearly in beta,
+  // so a handful of iterations converges. Each attempt uses a forked stream
+  // so a rejected topology does not perturb the accepted one.
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    Rng trial = rng.fork();
+    Topology topo = waxman(cfg, trial);
+    const double deg = topo.graph.average_degree();
+    if (std::abs(deg - target_degree) <= tolerance) {
+      topo.name = "random-n" + std::to_string(num_nodes) + "-deg" +
+                  std::to_string(static_cast<int>(target_degree + 0.5));
+      return topo;
+    }
+    cfg.beta = std::clamp(cfg.beta * target_degree / std::max(deg, 0.1),
+                          1e-4, 1.0);
+  }
+  // Calibration failed to land inside tolerance; return the closest attempt.
+  Rng trial = rng.fork();
+  Topology topo = waxman(cfg, trial);
+  topo.name = "random-n" + std::to_string(num_nodes) + "-deg" +
+              std::to_string(static_cast<int>(target_degree + 0.5));
+  return topo;
+}
+
+}  // namespace scmp::topo

@@ -1,0 +1,57 @@
+// Random topologies per the paper's simulation model (§IV-A), which follows
+// Waxman (JSAC 1988, the paper's reference [18]):
+//
+//   * n nodes placed uniformly at random on a 32767 x 32767 integer grid;
+//   * edge {u,v} exists with probability P(u,v) = beta * exp(-d(u,v)/(alpha*L))
+//     where d is Manhattan distance and L = 2*32767 the maximum distance;
+//   * link cost  = Manhattan distance between the endpoints;
+//   * link delay = Uniform(0, cost).
+//
+// GT-ITM's flat random model is this same generator, so the paper's two
+// 50-node topologies with average node degree 3 and 5 are produced here by
+// calibrating beta to a target average degree.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace scmp::topo {
+
+struct Point {
+  int x = 0;
+  int y = 0;
+};
+
+inline int manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// A generated topology: the graph plus node grid coordinates.
+struct Topology {
+  graph::Graph graph;
+  std::vector<Point> coords;
+  std::string name;
+};
+
+struct WaxmanConfig {
+  int num_nodes = 100;
+  double alpha = 0.25;   ///< larger -> more long edges
+  double beta = 0.2;     ///< larger -> higher degree
+  int grid = 32767;      ///< coordinate range [0, grid]
+};
+
+/// Waxman topology, repaired to be connected (disconnected components are
+/// joined through their closest node pairs, keeping the cost/delay model).
+Topology waxman(const WaxmanConfig& cfg, Rng& rng);
+
+/// Waxman topology whose beta is calibrated so the average node degree lands
+/// within `tolerance` of `target_degree` (paper's GT-ITM substitutes:
+/// n=50, degree 3 and 5).
+Topology waxman_with_degree(int num_nodes, double target_degree, Rng& rng,
+                            double tolerance = 0.25);
+
+}  // namespace scmp::topo

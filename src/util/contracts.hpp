@@ -1,0 +1,30 @@
+// Lightweight Expects/Ensures-style runtime contracts (C++ Core Guidelines I.6/I.8).
+//
+// Contract violations indicate programming errors, not recoverable conditions,
+// so they abort with a diagnostic rather than throw.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace scmp {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violation: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace scmp
+
+#define SCMP_EXPECTS(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::scmp::contract_failure("Precondition", #cond, __FILE__, __LINE__))
+
+#define SCMP_ENSURES(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::scmp::contract_failure("Postcondition", #cond, __FILE__, __LINE__))
+
+#define SCMP_ASSERT(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::scmp::contract_failure("Invariant", #cond, __FILE__, __LINE__))

@@ -1,0 +1,22 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace scmp {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+void log_line(LogLevel level, const std::string& msg) {
+  static constexpr const char* kNames[] = {"off", "error", "info", "debug",
+                                           "trace"};
+  std::fprintf(stderr, "[%s] %s\n", kNames[static_cast<int>(level)],
+               msg.c_str());
+}
+
+}  // namespace scmp

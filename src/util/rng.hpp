@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// Every experiment in the reproduction is seeded explicitly; the generator is
+// xoshiro256** (public domain, Blackman & Vigna) seeded via splitmix64 so that
+// results are identical across platforms and standard-library versions
+// (std::mt19937 distributions are not portable across implementations).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace scmp {
+
+/// Stateless splitmix64 step; used to expand a single seed into generator state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** deterministic PRNG with portable uniform distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform01();
+
+  /// Uniform real in [lo, hi). Requires lo <= hi.
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool chance(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct values sampled from [0, n) in random order. Requires k <= n.
+  std::vector<int> sample_without_replacement(int n, int k);
+
+  /// Derive an independent generator (for per-trial streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace scmp

@@ -1,0 +1,51 @@
+// Small statistics helpers for the experiment harnesses: single-pass running
+// moments (Welford) plus a summary type carrying a normal-approximation 95%
+// confidence interval, which the benches print next to every series point.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace scmp {
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Half-width of the normal-approximation 95% confidence interval.
+  double ci95_halfwidth() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Immutable snapshot of a RunningStats, convenient for tables.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double ci95 = 0.0;
+};
+
+Summary summarize(const RunningStats& s);
+Summary summarize(const std::vector<double>& xs);
+
+/// Exact median (copies and sorts; fine at experiment sizes).
+double median(std::vector<double> xs);
+
+}  // namespace scmp

@@ -1,0 +1,34 @@
+// Console table / CSV emission used by the figure-reproduction harnesses.
+//
+// Each bench prints one aligned table per paper figure panel, and can
+// optionally mirror the same rows to a CSV file for external plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace scmp {
+
+/// Column-aligned plain-text table with an optional CSV mirror.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; it must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision (helper for cells).
+  static std::string num(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace scmp

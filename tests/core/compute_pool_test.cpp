@@ -1,0 +1,117 @@
+#include "core/compute_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "helpers.hpp"
+
+namespace scmp::core {
+namespace {
+
+std::vector<GroupMembership> make_groups(const graph::Graph& g, int count,
+                                         std::uint64_t seed) {
+  std::vector<GroupMembership> groups;
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    GroupMembership gm;
+    gm.group = i + 1;
+    const int size = static_cast<int>(rng.uniform_int(2, 12));
+    for (int v : rng.sample_without_replacement(g.num_nodes() - 1, size))
+      gm.join_order.push_back(v + 1);
+    groups.push_back(std::move(gm));
+  }
+  return groups;
+}
+
+TEST(TreeComputePool, ThreadCountDefaults) {
+  const auto topo = test::random_topology(1, 20);
+  const graph::AllPairsPaths paths(topo.graph);
+  EXPECT_GE(TreeComputePool(topo.graph, paths, 0).thread_count(), 1);
+  EXPECT_EQ(TreeComputePool(topo.graph, paths, 3).thread_count(), 3);
+  EXPECT_EQ(TreeComputePool(topo.graph, paths, -5).thread_count(),
+            TreeComputePool(topo.graph, paths, 0).thread_count());
+}
+
+TEST(TreeComputePool, ForEachIndexCoversEveryIndexOnce) {
+  const auto topo = test::random_topology(2, 20);
+  const graph::AllPairsPaths paths(topo.graph);
+  const TreeComputePool pool(topo.graph, paths, 4);
+  std::vector<std::atomic<int>> touched(101);
+  pool.for_each_index(101, [&](std::size_t i) { ++touched[i]; });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(TreeComputePool, ForEachIndexEmpty) {
+  const auto topo = test::random_topology(2, 20);
+  const graph::AllPairsPaths paths(topo.graph);
+  const TreeComputePool pool(topo.graph, paths, 4);
+  pool.for_each_index(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(TreeComputePool, ForEachIndexFewerItemsThanThreads) {
+  const auto topo = test::random_topology(2, 20);
+  const graph::AllPairsPaths paths(topo.graph);
+  const TreeComputePool pool(topo.graph, paths, 16);
+  std::vector<std::atomic<int>> touched(3);
+  pool.for_each_index(3, [&](std::size_t i) { ++touched[i]; });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+class PoolDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(PoolDeterminism, ParallelEqualsSerial) {
+  const auto topo = test::random_topology(7, 40);
+  const graph::Graph& g = topo.graph;
+  const graph::AllPairsPaths paths(g);
+  const auto groups = make_groups(g, 24, 99);
+
+  const TreeComputePool serial(g, paths, 1);
+  const TreeComputePool parallel(g, paths, GetParam());
+  const DcdmConfig cfg{1.0};
+  const auto a = serial.build_trees(0, groups, cfg);
+  const auto b = parallel.build_trees(0, groups, cfg);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& gm : groups) {
+    const DcdmTree& ta = a.at(gm.group);
+    const DcdmTree& tb = b.at(gm.group);
+    EXPECT_DOUBLE_EQ(ta.tree_cost(), tb.tree_cost());
+    EXPECT_DOUBLE_EQ(ta.tree_delay(), tb.tree_delay());
+    // Structural equality, node by node.
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(ta.tree().on_tree(v), tb.tree().on_tree(v));
+      if (ta.tree().on_tree(v)) {
+        EXPECT_EQ(ta.tree().parent(v), tb.tree().parent(v));
+        EXPECT_EQ(ta.tree().is_member(v), tb.tree().is_member(v));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, PoolDeterminism,
+                         ::testing::Values(2, 3, 4, 8, 16));
+
+TEST(TreeComputePool, BuildTreesValidatesEveryTree) {
+  const auto topo = test::random_topology(9, 40);
+  const graph::AllPairsPaths paths(topo.graph);
+  const TreeComputePool pool(topo.graph, paths, 4);
+  const auto groups = make_groups(topo.graph, 16, 5);
+  const auto trees = pool.build_trees(0, groups, DcdmConfig{2.0});
+  for (const auto& gm : groups) {
+    const DcdmTree& t = trees.at(gm.group);
+    EXPECT_TRUE(t.tree().validate(topo.graph));
+    for (graph::NodeId m : gm.join_order) EXPECT_TRUE(t.tree().is_member(m));
+  }
+}
+
+TEST(TreeComputePool, EmptyGroupList) {
+  const auto topo = test::random_topology(9, 20);
+  const graph::AllPairsPaths paths(topo.graph);
+  const TreeComputePool pool(topo.graph, paths, 4);
+  EXPECT_TRUE(pool.build_trees(0, {}, DcdmConfig{}).empty());
+}
+
+}  // namespace
+}  // namespace scmp::core

@@ -1,0 +1,132 @@
+// Exact reproduction of the paper's Fig. 5 worked example of the DCDM
+// algorithm: topology, join order g1=4, g2=3, g3=5, intermediate trees,
+// graft-node choices and the loop-elimination step.
+#include <gtest/gtest.h>
+
+#include "core/dcdm.hpp"
+#include "helpers.hpp"
+
+namespace scmp::core {
+namespace {
+
+class Fig5 : public ::testing::Test {
+ protected:
+  Fig5() : g_(test::paper_fig5_topology()), paths_(g_), t_(g_, paths_, 0) {}
+
+  graph::Graph g_;
+  graph::AllPairsPaths paths_;
+  DcdmTree t_;
+};
+
+TEST_F(Fig5, UnicastDelaysMatchPaper) {
+  EXPECT_DOUBLE_EQ(t_.unicast_delay(4), 12.0);  // g1 via 0-1-4
+  EXPECT_DOUBLE_EQ(t_.unicast_delay(3), 2.0);   // g2 via 0-3
+  EXPECT_DOUBLE_EQ(t_.unicast_delay(5), 11.0);  // g3 via 0-2-5
+}
+
+TEST_F(Fig5, G1JoinTakesShortestDelayPath) {
+  const JoinResult r = t_.join(4);
+  EXPECT_TRUE(r.is_new_member);
+  EXPECT_FALSE(r.already_on_tree);
+  EXPECT_FALSE(r.restructured);
+  EXPECT_EQ(r.graft_path, (std::vector<graph::NodeId>{0, 1, 4}));
+  EXPECT_DOUBLE_EQ(t_.tree_delay(), 12.0);  // paper: 3 + 9
+}
+
+TEST_F(Fig5, G2GraftsAtNode1MinimizingCost) {
+  t_.join(4);
+  const JoinResult r = t_.join(3);
+  // Paper: grafting at node 1 (via 1-2-3) costs +3 and keeps ml = 10 <= 12,
+  // beating the direct path 0-3 which costs +6.
+  EXPECT_EQ(r.graft_path, (std::vector<graph::NodeId>{1, 2, 3}));
+  EXPECT_FALSE(r.restructured);
+  EXPECT_DOUBLE_EQ(t_.tree().node_delay(g_, 3), 10.0);
+  EXPECT_DOUBLE_EQ(t_.tree_delay(), 12.0);  // unchanged
+  // Fig. 5(b): tree is 0-1-4 plus 1-2-3.
+  EXPECT_EQ(t_.tree().parent(1), 0);
+  EXPECT_EQ(t_.tree().parent(4), 1);
+  EXPECT_EQ(t_.tree().parent(2), 1);
+  EXPECT_EQ(t_.tree().parent(3), 2);
+}
+
+TEST_F(Fig5, G3JoinTriggersLoopElimination) {
+  t_.join(4);
+  t_.join(3);
+  const JoinResult r = t_.join(5);
+  // Paper: grafting at node 2 would give ml = 3+3+7 = 13 > 12, so the graft
+  // node is 0 via path 0-2-5; node 2 is already on the tree, forming a loop
+  // that is broken by pruning 2's old upstream branch toward node 1.
+  EXPECT_EQ(r.graft_path, (std::vector<graph::NodeId>{0, 2, 5}));
+  EXPECT_TRUE(r.restructured);
+  EXPECT_TRUE(r.removed_nodes.empty());  // node 1 survives (leads to g1)
+
+  // Fig. 5(d): final tree is 0-1-4, 0-2-5 and 2-3.
+  EXPECT_EQ(t_.tree().parent(1), 0);
+  EXPECT_EQ(t_.tree().parent(4), 1);
+  EXPECT_EQ(t_.tree().parent(2), 0);
+  EXPECT_EQ(t_.tree().parent(3), 2);
+  EXPECT_EQ(t_.tree().parent(5), 2);
+  EXPECT_DOUBLE_EQ(t_.tree().node_delay(g_, 5), 11.0);
+  EXPECT_DOUBLE_EQ(t_.tree_delay(), 12.0);
+  EXPECT_TRUE(t_.tree().validate(g_));
+}
+
+TEST_F(Fig5, GraftAtNode2WouldViolateBound) {
+  t_.join(4);
+  t_.join(3);
+  // Direct edge 2-5 from on-tree node 2 would give ml(5) = 6 + 7 = 13 > 12.
+  const double ml_via_2 = t_.tree().node_delay(g_, 2) + 7.0;
+  EXPECT_GT(ml_via_2, t_.delay_bound_for(5));
+}
+
+TEST_F(Fig5, LeaveOfG1PrunesBranch) {
+  t_.join(4);
+  t_.join(3);
+  t_.join(5);
+  const LeaveResult r = t_.leave(4);
+  EXPECT_TRUE(r.was_member);
+  // Branch 1-4 dangles entirely after g1 leaves (node 1 no longer leads
+  // anywhere after the Fig. 5(d) restructure).
+  EXPECT_EQ(r.removed_nodes, (std::vector<graph::NodeId>{1, 4}));
+  EXPECT_FALSE(t_.tree().on_tree(4));
+  EXPECT_FALSE(t_.tree().on_tree(1));
+  EXPECT_TRUE(t_.tree().validate(g_));
+}
+
+TEST_F(Fig5, LeaveOfRelayMemberKeepsRelay) {
+  t_.join(4);
+  t_.join(3);
+  t_.join(5);
+  // Node 2 relays to both 3 and 5; if 3 leaves, only the 2-3 edge goes.
+  const LeaveResult r = t_.leave(3);
+  EXPECT_EQ(r.removed_nodes, (std::vector<graph::NodeId>{3}));
+  EXPECT_TRUE(t_.tree().on_tree(2));
+  EXPECT_TRUE(t_.tree().on_tree(5));
+}
+
+TEST_F(Fig5, DuplicateJoinIsNoop) {
+  t_.join(4);
+  const JoinResult r = t_.join(4);
+  EXPECT_FALSE(r.is_new_member);
+  EXPECT_TRUE(r.graft_path.empty());
+}
+
+TEST_F(Fig5, LeaveOfNonMemberIsNoop) {
+  const LeaveResult r = t_.leave(4);
+  EXPECT_FALSE(r.was_member);
+  EXPECT_TRUE(r.removed_nodes.empty());
+}
+
+TEST_F(Fig5, JoinOfOnTreeRelayOnlyFlipsMembership) {
+  t_.join(4);
+  t_.join(3);
+  // Node 2 is now a relay (on tree, not member).
+  const JoinResult r = t_.join(2);
+  EXPECT_TRUE(r.is_new_member);
+  EXPECT_TRUE(r.already_on_tree);
+  EXPECT_TRUE(r.graft_path.empty());
+  EXPECT_TRUE(t_.tree().is_member(2));
+}
+
+}  // namespace
+}  // namespace scmp::core

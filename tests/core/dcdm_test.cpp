@@ -1,0 +1,197 @@
+#include "core/dcdm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/spt.hpp"
+#include "graph/steiner.hpp"
+#include "helpers.hpp"
+
+namespace scmp::core {
+namespace {
+
+std::vector<graph::NodeId> pick_members(Rng& rng, int n, int k) {
+  const auto sample = rng.sample_without_replacement(n - 1, k);
+  std::vector<graph::NodeId> members;
+  for (int v : sample) members.push_back(v + 1);  // never the root (0)
+  return members;
+}
+
+TEST(Dcdm, RootJoinIsMembershipOnly) {
+  const graph::Graph g = test::line(4);
+  const graph::AllPairsPaths paths(g);
+  DcdmTree t(g, paths, 0);
+  const JoinResult r = t.join(0);
+  EXPECT_TRUE(r.already_on_tree);
+  EXPECT_TRUE(t.tree().is_member(0));
+  EXPECT_EQ(t.tree().tree_size(), 1);
+}
+
+TEST(Dcdm, LoosestSlackPicksCheapestGraft) {
+  // With no delay constraint, DCDM grafts the minimum-cost path even when it
+  // is slow.
+  const graph::Graph g = test::diamond();
+  const graph::AllPairsPaths paths(g);
+  DcdmTree t(g, paths, 0, DcdmConfig{kLoosest});
+  t.join(3);
+  // Cheapest route is 0-2-3 (cost 2) despite delay 10 vs 2.
+  EXPECT_EQ(t.tree().parent(3), 2);
+  EXPECT_DOUBLE_EQ(t.tree_cost(), 2.0);
+}
+
+TEST(Dcdm, TightestSlackPicksFastGraft) {
+  const graph::Graph g = test::diamond();
+  const graph::AllPairsPaths paths(g);
+  DcdmTree t(g, paths, 0, DcdmConfig{1.0});
+  t.join(3);
+  // Bound = ul(3) = 2 (via 0-1-3); the cheap slow path (delay 10) violates it.
+  EXPECT_EQ(t.tree().parent(3), 1);
+  EXPECT_DOUBLE_EQ(t.tree_delay(), 2.0);
+}
+
+TEST(DcdmDeath, RejectsSlackBelowOne) {
+  const graph::Graph g = test::line(3);
+  const graph::AllPairsPaths paths(g);
+  EXPECT_DEATH(DcdmTree(g, paths, 0, DcdmConfig{0.5}), "Precondition");
+}
+
+struct SlackCase {
+  std::uint64_t seed;
+  double slack;
+};
+
+class DcdmProperty : public ::testing::TestWithParam<SlackCase> {};
+
+TEST_P(DcdmProperty, InvariantsAfterEveryJoin) {
+  const auto topo = test::random_topology(GetParam().seed, 40);
+  const graph::Graph& g = topo.graph;
+  const graph::AllPairsPaths paths(g);
+  Rng rng(GetParam().seed * 3 + 1);
+  const auto members = pick_members(rng, g.num_nodes(), 15);
+
+  DcdmTree t(g, paths, 0, DcdmConfig{GetParam().slack});
+  std::set<graph::NodeId> joined;
+  for (graph::NodeId m : members) {
+    const double bound = t.delay_bound_for(m);
+    t.join(m);
+    joined.insert(m);
+    ASSERT_TRUE(t.tree().validate(g));
+    for (graph::NodeId j : joined) ASSERT_TRUE(t.tree().is_member(j));
+    // The freshly joined member's multicast delay respects the bound it was
+    // admitted under (other members' delays can shift on restructures).
+    EXPECT_LE(t.tree().node_delay(g, m), bound + 1e-9);
+  }
+}
+
+TEST_P(DcdmProperty, LeavesShrinkTree) {
+  const auto topo = test::random_topology(GetParam().seed, 40);
+  const graph::Graph& g = topo.graph;
+  const graph::AllPairsPaths paths(g);
+  Rng rng(GetParam().seed * 5 + 7);
+  const auto members = pick_members(rng, g.num_nodes(), 12);
+
+  DcdmTree t(g, paths, 0, DcdmConfig{GetParam().slack});
+  for (graph::NodeId m : members) t.join(m);
+  auto remaining = members;
+  while (!remaining.empty()) {
+    const graph::NodeId m = remaining.back();
+    remaining.pop_back();
+    const int before = t.tree().tree_size();
+    t.leave(m);
+    EXPECT_LE(t.tree().tree_size(), before);
+    ASSERT_TRUE(t.tree().validate(g));
+    for (graph::NodeId still : remaining)
+      ASSERT_TRUE(t.tree().is_member(still));
+  }
+  EXPECT_EQ(t.tree().tree_size(), 1);  // only the root remains
+}
+
+TEST_P(DcdmProperty, EveryLeafIsMemberOrRoot) {
+  const auto topo = test::random_topology(GetParam().seed, 40);
+  const graph::Graph& g = topo.graph;
+  const graph::AllPairsPaths paths(g);
+  Rng rng(GetParam().seed * 7 + 3);
+  const auto members = pick_members(rng, g.num_nodes(), 10);
+  DcdmTree t(g, paths, 0, DcdmConfig{GetParam().slack});
+  for (graph::NodeId m : members) t.join(m);
+  // Interleave leaves to exercise pruning, then re-check.
+  t.leave(members[0]);
+  t.leave(members[5]);
+  for (graph::NodeId v : t.tree().on_tree_nodes()) {
+    if (t.tree().is_leaf(v) && v != 0) {
+      EXPECT_TRUE(t.tree().is_member(v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndSlacks, DcdmProperty,
+    ::testing::Values(SlackCase{1, 1.0}, SlackCase{2, 1.0}, SlackCase{3, 2.0},
+                      SlackCase{4, 2.0}, SlackCase{5, kLoosest},
+                      SlackCase{6, kLoosest}, SlackCase{7, 1.5},
+                      SlackCase{8, 3.0}));
+
+TEST(DcdmVsBaselines, TightestDelayMatchesSptDelay) {
+  // At the tightest constraint DCDM achieves the same tree delay as SPT
+  // (Fig. 7(a)): the bound equals the max unicast delay, which SPT attains.
+  double dcdm_total = 0.0, spt_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto topo = test::random_topology(seed, 40);
+    const graph::Graph& g = topo.graph;
+    const graph::AllPairsPaths paths(g);
+    Rng rng(seed * 11);
+    const auto members = pick_members(rng, g.num_nodes(), 12);
+    DcdmTree t(g, paths, 0, DcdmConfig{1.0});
+    for (graph::NodeId m : members) t.join(m);
+    const auto spt = graph::shortest_path_tree(g, 0, members);
+    dcdm_total += t.tree_delay();
+    spt_total += spt.tree_delay(g);
+    EXPECT_GE(t.tree_delay(), spt.tree_delay(g) - 1e-9);  // SPT is optimal
+  }
+  // Within 25% on average: DCDM trades a little delay for cost.
+  EXPECT_LE(dcdm_total, spt_total * 1.25);
+}
+
+TEST(DcdmVsBaselines, CostBetweenKmbAndSpt) {
+  // Fig. 7(d)-(f): KMB <= DCDM <= SPT in tree cost, on average.
+  double dcdm_total = 0.0, spt_total = 0.0, kmb_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto topo = test::random_topology(seed, 40);
+    const graph::Graph& g = topo.graph;
+    const graph::AllPairsPaths paths(g);
+    Rng rng(seed * 13);
+    const auto members = pick_members(rng, g.num_nodes(), 14);
+    DcdmTree t(g, paths, 0, DcdmConfig{kLoosest});
+    for (graph::NodeId m : members) t.join(m);
+    dcdm_total += t.tree_cost();
+    spt_total += graph::shortest_path_tree(g, 0, members).tree_cost(g);
+    kmb_total += graph::kmb_steiner(g, paths, 0, members).tree_cost(g);
+  }
+  EXPECT_LT(dcdm_total, spt_total);
+  EXPECT_GT(dcdm_total, kmb_total * 0.8);
+}
+
+TEST(DcdmVsBaselines, LooserSlackNeverCostsMore) {
+  // Averaged over seeds, relaxing the constraint can only reduce tree cost.
+  double tight_total = 0.0, loose_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto topo = test::random_topology(seed, 40);
+    const graph::Graph& g = topo.graph;
+    const graph::AllPairsPaths paths(g);
+    Rng rng(seed * 17);
+    const auto members = pick_members(rng, g.num_nodes(), 12);
+    DcdmTree tight(g, paths, 0, DcdmConfig{1.0});
+    DcdmTree loose(g, paths, 0, DcdmConfig{kLoosest});
+    for (graph::NodeId m : members) {
+      tight.join(m);
+      loose.join(m);
+    }
+    tight_total += tight.tree_cost();
+    loose_total += loose.tree_cost();
+  }
+  EXPECT_LE(loose_total, tight_total + 1e-9);
+}
+
+}  // namespace
+}  // namespace scmp::core

@@ -1,0 +1,124 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "topo/arpanet.hpp"
+
+namespace scmp::core {
+namespace {
+
+ScenarioConfig base_config(const graph::Graph& g, std::uint64_t seed,
+                           int group_size) {
+  ScenarioConfig cfg;
+  cfg.mrouter = 0;
+  Rng rng(seed);
+  for (int v : rng.sample_without_replacement(g.num_nodes() - 1, group_size))
+    cfg.members.push_back(v + 1);
+  // Deterministic non-member source.
+  for (graph::NodeId v = 1; v < g.num_nodes(); ++v) {
+    if (std::find(cfg.members.begin(), cfg.members.end(), v) ==
+        cfg.members.end()) {
+      cfg.source = v;
+      break;
+    }
+  }
+  return cfg;
+}
+
+TEST(Experiment, ProtocolNames) {
+  EXPECT_STREQ(to_string(ProtocolKind::kScmp), "SCMP");
+  EXPECT_STREQ(to_string(ProtocolKind::kDvmrp), "DVMRP");
+  EXPECT_STREQ(to_string(ProtocolKind::kMospf), "MOSPF");
+  EXPECT_STREQ(to_string(ProtocolKind::kCbt), "CBT");
+}
+
+TEST(Experiment, AllProtocolsRunTheFullScenario) {
+  Rng trng(1);
+  const auto topo = topo::arpanet(trng);
+  const ScenarioConfig cfg = base_config(topo.graph, 2, 6);
+  for (const auto kind : {ProtocolKind::kScmp, ProtocolKind::kDvmrp,
+                          ProtocolKind::kMospf, ProtocolKind::kCbt}) {
+    const ScenarioResult r = run_scenario(kind, topo.graph, cfg);
+    EXPECT_EQ(r.protocol, to_string(kind));
+    // 29 packets (t = 2..30) each reaching 6 members.
+    EXPECT_EQ(r.data_packets_sent, 29u);
+    EXPECT_EQ(r.stats.deliveries, 29u * 6u) << to_string(kind);
+    EXPECT_GT(r.stats.data_overhead, 0.0);
+    EXPECT_GT(r.stats.protocol_overhead, 0.0);
+    EXPECT_GT(r.stats.max_end_to_end_delay, 0.0);
+    EXPECT_GT(r.igmp_messages, 0u);
+  }
+}
+
+TEST(Experiment, LeavesReduceDeliveries) {
+  Rng trng(1);
+  const auto topo = topo::arpanet(trng);
+  ScenarioConfig cfg = base_config(topo.graph, 2, 6);
+  cfg.leaves.push_back({15.0, cfg.members[0]});
+  const ScenarioResult r = run_scenario(ProtocolKind::kScmp, topo.graph, cfg);
+  // Fewer deliveries than the no-leave run, but still every packet to the
+  // remaining five members after t = 15.
+  EXPECT_LT(r.stats.deliveries, 29u * 6u);
+  EXPECT_GE(r.stats.deliveries, 29u * 5u);
+}
+
+TEST(Experiment, ScmpBeatsDvmrpOnDataOverhead) {
+  // The paper's headline Fig. 8 ordering, aggregated over seeds.
+  double scmp_total = 0.0, dvmrp_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng trng(seed);
+    const auto topo = topo::arpanet(trng);
+    const ScenarioConfig cfg = base_config(topo.graph, seed * 7, 8);
+    scmp_total +=
+        run_scenario(ProtocolKind::kScmp, topo.graph, cfg).stats.data_overhead;
+    dvmrp_total += run_scenario(ProtocolKind::kDvmrp, topo.graph, cfg)
+                       .stats.data_overhead;
+  }
+  EXPECT_LT(scmp_total, dvmrp_total);
+}
+
+TEST(Experiment, MospfProtocolOverheadExceedsScmpAndCbt) {
+  Rng trng(2);
+  const auto topo = topo::arpanet(trng);
+  const ScenarioConfig cfg = base_config(topo.graph, 11, 10);
+  const double mospf = run_scenario(ProtocolKind::kMospf, topo.graph, cfg)
+                           .stats.protocol_overhead;
+  const double scmp = run_scenario(ProtocolKind::kScmp, topo.graph, cfg)
+                          .stats.protocol_overhead;
+  const double cbt =
+      run_scenario(ProtocolKind::kCbt, topo.graph, cfg).stats.protocol_overhead;
+  EXPECT_GT(mospf, scmp);
+  EXPECT_GT(mospf, cbt);
+}
+
+TEST(Experiment, SptDelayAtMostSharedTreeDelay) {
+  // Fig. 9: SPT-based protocols deliver with at most the shared-tree delay,
+  // aggregated over seeds.
+  double spt_total = 0.0, shared_total = 0.0;
+  for (std::uint64_t seed = 4; seed <= 6; ++seed) {
+    Rng trng(seed);
+    const auto topo = topo::arpanet(trng);
+    const ScenarioConfig cfg = base_config(topo.graph, seed, 8);
+    spt_total += run_scenario(ProtocolKind::kMospf, topo.graph, cfg)
+                     .stats.max_end_to_end_delay;
+    shared_total += run_scenario(ProtocolKind::kScmp, topo.graph, cfg)
+                        .stats.max_end_to_end_delay;
+  }
+  EXPECT_LE(spt_total, shared_total * 1.05);
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  Rng trng(3);
+  const auto topo = topo::arpanet(trng);
+  const ScenarioConfig cfg = base_config(topo.graph, 5, 6);
+  const ScenarioResult a = run_scenario(ProtocolKind::kScmp, topo.graph, cfg);
+  const ScenarioResult b = run_scenario(ProtocolKind::kScmp, topo.graph, cfg);
+  EXPECT_DOUBLE_EQ(a.stats.data_overhead, b.stats.data_overhead);
+  EXPECT_DOUBLE_EQ(a.stats.protocol_overhead, b.stats.protocol_overhead);
+  EXPECT_DOUBLE_EQ(a.stats.max_end_to_end_delay, b.stats.max_end_to_end_delay);
+  EXPECT_EQ(a.stats.deliveries, b.stats.deliveries);
+}
+
+}  // namespace
+}  // namespace scmp::core

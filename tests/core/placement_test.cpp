@@ -1,0 +1,80 @@
+#include "core/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace scmp::core {
+namespace {
+
+TEST(Placement, MinAverageDelayOnLine) {
+  // On a 5-node line the centre node minimises average delay.
+  const graph::Graph g = test::line(5);
+  const graph::AllPairsPaths paths(g);
+  EXPECT_EQ(place_mrouter(g, paths, PlacementRule::kMinAverageDelay), 2);
+}
+
+TEST(Placement, MaxDegreePicksHub) {
+  graph::Graph g(5);
+  g.add_edge(0, 2, 1, 1);
+  g.add_edge(1, 2, 1, 1);
+  g.add_edge(3, 2, 1, 1);
+  g.add_edge(3, 4, 1, 1);
+  const graph::AllPairsPaths paths(g);
+  EXPECT_EQ(place_mrouter(g, paths, PlacementRule::kMaxDegree), 2);
+}
+
+TEST(Placement, DiameterMidpointOnLine) {
+  const graph::Graph g = test::line(7);
+  const graph::AllPairsPaths paths(g);
+  EXPECT_EQ(place_mrouter(g, paths, PlacementRule::kDiameterMidpoint), 3);
+}
+
+TEST(Placement, FirstNodeBaseline) {
+  const graph::Graph g = test::line(3);
+  const graph::AllPairsPaths paths(g);
+  EXPECT_EQ(place_mrouter(g, paths, PlacementRule::kFirstNode), 0);
+}
+
+TEST(Placement, Names) {
+  EXPECT_STREQ(to_string(PlacementRule::kMinAverageDelay), "min-avg-delay");
+  EXPECT_STREQ(to_string(PlacementRule::kMaxDegree), "max-degree");
+  EXPECT_STREQ(to_string(PlacementRule::kDiameterMidpoint),
+               "diameter-midpoint");
+  EXPECT_STREQ(to_string(PlacementRule::kFirstNode), "first-node");
+}
+
+class PlacementProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlacementProperty, AllRulesReturnValidNodes) {
+  const auto topo = test::random_topology(GetParam(), 30);
+  const graph::AllPairsPaths paths(topo.graph);
+  for (const auto rule :
+       {PlacementRule::kMinAverageDelay, PlacementRule::kMaxDegree,
+        PlacementRule::kDiameterMidpoint, PlacementRule::kFirstNode}) {
+    const graph::NodeId v = place_mrouter(topo.graph, paths, rule);
+    EXPECT_TRUE(topo.graph.valid(v));
+  }
+}
+
+TEST_P(PlacementProperty, MinAvgDelayBeatsWorstNode) {
+  const auto topo = test::random_topology(GetParam(), 30);
+  const graph::Graph& g = topo.graph;
+  const graph::AllPairsPaths paths(g);
+  const graph::NodeId best =
+      place_mrouter(g, paths, PlacementRule::kMinAverageDelay);
+  auto avg_delay = [&](graph::NodeId u) {
+    double sum = 0.0;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v)
+      if (v != u) sum += paths.sl_delay(u, v);
+    return sum;
+  };
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v)
+    EXPECT_LE(avg_delay(best), avg_delay(v) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacementProperty,
+                         ::testing::Values(10, 20, 30));
+
+}  // namespace
+}  // namespace scmp::core

@@ -1,0 +1,160 @@
+#include "core/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace scmp::core {
+namespace {
+
+TEST(Wfq, EmptySchedulerIsIdle) {
+  WfqScheduler s(1e9);
+  EXPECT_TRUE(s.idle());
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_FALSE(s.dequeue().has_value());
+}
+
+TEST(Wfq, SinglePacketPassesThrough) {
+  WfqScheduler s(1e9);
+  s.enqueue(1, 100, 1000, 0.0);
+  const auto got = s.dequeue();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->group, 1);
+  EXPECT_EQ(got->uid, 100u);
+  EXPECT_DOUBLE_EQ(got->dequeue_time, 1000.0 * 8.0 / 1e9);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Wfq, FifoWithinOneGroup) {
+  WfqScheduler s(1e9);
+  for (std::uint64_t uid = 0; uid < 5; ++uid) s.enqueue(1, uid, 500, 0.0);
+  for (std::uint64_t uid = 0; uid < 5; ++uid) {
+    const auto got = s.dequeue();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->uid, uid);
+  }
+}
+
+TEST(Wfq, EqualWeightsInterleave) {
+  // Two backlogged groups with equal weights and equal sizes alternate.
+  WfqScheduler s(1e9);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    s.enqueue(1, i, 1000, 0.0);
+    s.enqueue(2, 100 + i, 1000, 0.0);
+  }
+  std::vector<GroupId> order;
+  while (const auto got = s.dequeue()) order.push_back(got->group);
+  EXPECT_EQ(order, (std::vector<GroupId>{1, 2, 1, 2, 1, 2, 1, 2}));
+}
+
+TEST(Wfq, WeightsSplitBandwidthProportionally) {
+  WfqScheduler s(1e9);
+  s.set_weight(1, 2.0);
+  s.set_weight(2, 1.0);
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    s.enqueue(1, i, 1000, 0.0);
+    s.enqueue(2, 100 + i, 1000, 0.0);
+  }
+  // Serve 18 packets and compare served bytes: should approach 2:1.
+  for (int i = 0; i < 18; ++i) s.dequeue();
+  const auto& served = s.served_bytes();
+  EXPECT_NEAR(static_cast<double>(served.at(1)) /
+                  static_cast<double>(served.at(2)),
+              2.0, 0.35);
+}
+
+TEST(Wfq, SmallPacketsDoNotStarveBehindLargeOnes) {
+  // Group 1 sends jumbo packets, group 2 small ones: group 2 still gets its
+  // share (more packets through).
+  WfqScheduler s(1e9);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    s.enqueue(1, i, 9000, 0.0);
+    s.enqueue(2, 100 + i, 100, 0.0);
+  }
+  int small_served = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto got = s.dequeue();
+    ASSERT_TRUE(got.has_value());
+    if (got->group == 2) ++small_served;
+  }
+  EXPECT_GE(small_served, 8);  // nearly all small packets go first
+}
+
+TEST(Wfq, NewlyActiveGroupGetsNoStaleCredit) {
+  WfqScheduler s(1e9);
+  // Group 1 is served alone for a while.
+  for (std::uint64_t i = 0; i < 5; ++i) s.enqueue(1, i, 1000, 0.0);
+  while (s.dequeue().has_value()) {
+  }
+  // Group 2 wakes up much later; it must not monopolise the port to "catch
+  // up" on the time it was idle.
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    s.enqueue(1, 10 + i, 1000, 1.0);
+    s.enqueue(2, 100 + i, 1000, 1.0);
+  }
+  std::vector<GroupId> order;
+  while (const auto got = s.dequeue()) order.push_back(got->group);
+  // Fair alternation, not a burst of group 2.
+  EXPECT_EQ(order, (std::vector<GroupId>{1, 2, 1, 2, 1, 2}));
+}
+
+TEST(Wfq, DequeueTimesRespectLineRate) {
+  WfqScheduler s(8000.0);  // 1000 bytes take exactly 1 s
+  s.enqueue(1, 0, 1000, 0.0);
+  s.enqueue(2, 1, 1000, 0.0);
+  const auto a = s.dequeue();
+  const auto b = s.dequeue();
+  EXPECT_DOUBLE_EQ(a->dequeue_time, 1.0);
+  EXPECT_DOUBLE_EQ(b->dequeue_time, 2.0);
+}
+
+TEST(Wfq, DequeueTimeNeverPrecedesArrival) {
+  WfqScheduler s(8000.0);  // 1000 bytes = 1 s transmission
+  s.enqueue(1, 0, 1000, /*now=*/50.0);
+  const auto got = s.dequeue();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(got->dequeue_time, 51.0);
+}
+
+TEST(Wfq, IdleGapsDoNotCompress) {
+  WfqScheduler s(8000.0);
+  s.enqueue(1, 0, 1000, 0.0);
+  EXPECT_DOUBLE_EQ(s.dequeue()->dequeue_time, 1.0);
+  // Next packet arrives long after the port went idle.
+  s.enqueue(1, 1, 1000, 10.0);
+  EXPECT_DOUBLE_EQ(s.dequeue()->dequeue_time, 11.0);
+}
+
+TEST(Wfq, ServedBytesAccumulate) {
+  WfqScheduler s(1e9);
+  s.enqueue(1, 0, 700, 0.0);
+  s.enqueue(1, 1, 300, 0.0);
+  s.dequeue();
+  s.dequeue();
+  EXPECT_EQ(s.served_bytes().at(1), 1000u);
+}
+
+TEST(Wfq, DeterministicTieBreakByArrival) {
+  WfqScheduler s(1e9);
+  s.enqueue(2, 0, 1000, 0.0);
+  s.enqueue(1, 1, 1000, 0.0);  // identical virtual finish: arrival wins
+  EXPECT_EQ(s.dequeue()->group, 2);
+  EXPECT_EQ(s.dequeue()->group, 1);
+}
+
+TEST(WfqDeath, RejectsNonPositiveWeight) {
+  WfqScheduler s(1e9);
+  EXPECT_DEATH(s.set_weight(1, 0.0), "Precondition");
+}
+
+TEST(WfqDeath, RejectsZeroCapacity) {
+  EXPECT_DEATH(WfqScheduler(0.0), "Precondition");
+}
+
+TEST(WfqDeath, RejectsEmptyPacket) {
+  WfqScheduler s(1e9);
+  EXPECT_DEATH(s.enqueue(1, 0, 0, 0.0), "Precondition");
+}
+
+}  // namespace
+}  // namespace scmp::core

@@ -1,0 +1,130 @@
+// Hot-standby m-router failover (paper §V advantage 4): the secondary
+// m-router runs concurrently with a replicated service database; on failover
+// it rebuilds every group tree rooted at itself and reinstalls it.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/scmp.hpp"
+#include "helpers.hpp"
+
+namespace scmp::core {
+namespace {
+
+constexpr proto::GroupId kGroup = 1;
+
+class FailoverFixture {
+ public:
+  explicit FailoverFixture(graph::Graph graph, graph::NodeId primary)
+      : g_(std::move(graph)), net_(g_, queue_), igmp_(queue_, g_.num_nodes()) {
+    Scmp::Config cfg;
+    cfg.mrouter = primary;
+    scmp_ = std::make_unique<Scmp>(net_, igmp_, cfg);
+    net_.set_delivery_callback(
+        [this](const sim::Packet& pkt, graph::NodeId member, sim::SimTime) {
+          deliveries_[pkt.uid].push_back(member);
+        });
+  }
+
+  std::vector<graph::NodeId> send_and_collect(graph::NodeId source) {
+    scmp_->send_data(source, kGroup);
+    queue_.run_all();
+    if (deliveries_.empty()) return {};
+    auto got = deliveries_.rbegin()->second;
+    std::sort(got.begin(), got.end());
+    return got;
+  }
+
+  graph::Graph g_;
+  sim::EventQueue queue_;
+  sim::Network net_;
+  igmp::IgmpDomain igmp_;
+  std::unique_ptr<Scmp> scmp_;
+  std::map<std::uint64_t, std::vector<graph::NodeId>> deliveries_;
+};
+
+TEST(ScmpFailover, PromotesStandbyAndRebuildsTree) {
+  const auto topo = test::random_topology(42, 30);
+  FailoverFixture f(topo.graph, 0);
+  Rng rng(9);
+  std::vector<graph::NodeId> members;
+  for (int v : rng.sample_without_replacement(topo.graph.num_nodes() - 2, 8))
+    members.push_back(v + 2);  // avoid both m-router candidates 0 and 1
+  for (graph::NodeId m : members) f.scmp_->host_join(m, kGroup);
+  f.queue_.run_all();
+  ASSERT_TRUE(f.scmp_->network_state_consistent(kGroup));
+
+  f.scmp_->fail_over_to(1);
+  f.queue_.run_all();
+  EXPECT_EQ(f.scmp_->mrouter(), 1);
+  EXPECT_TRUE(f.scmp_->network_state_consistent(kGroup));
+  const DcdmTree* tree = f.scmp_->group_tree(kGroup);
+  ASSERT_NE(tree, nullptr);
+  EXPECT_EQ(tree->root(), 1);
+
+  std::sort(members.begin(), members.end());
+  EXPECT_EQ(f.send_and_collect(0), members);  // old primary is now off-tree
+}
+
+TEST(ScmpFailover, MembershipDatabaseSurvives) {
+  FailoverFixture f(test::line(5), 0);
+  f.scmp_->host_join(3, kGroup);
+  f.scmp_->host_join(4, kGroup);
+  f.queue_.run_all();
+  f.scmp_->fail_over_to(2);
+  f.queue_.run_all();
+  EXPECT_TRUE(f.scmp_->database().members_of(kGroup).contains(3));
+  EXPECT_TRUE(f.scmp_->database().members_of(kGroup).contains(4));
+}
+
+TEST(ScmpFailover, FailoverToSelfIsNoop) {
+  FailoverFixture f(test::line(3), 0);
+  f.scmp_->host_join(2, kGroup);
+  f.queue_.run_all();
+  const auto before = f.net_.stats().protocol_link_crossings;
+  f.scmp_->fail_over_to(0);
+  f.queue_.run_all();
+  EXPECT_EQ(f.net_.stats().protocol_link_crossings, before);
+  EXPECT_TRUE(f.scmp_->network_state_consistent(kGroup));
+}
+
+TEST(ScmpFailover, JoinsContinueAfterFailover) {
+  FailoverFixture f(test::line(6), 0);
+  f.scmp_->host_join(3, kGroup);
+  f.queue_.run_all();
+  f.scmp_->fail_over_to(5);
+  f.queue_.run_all();
+  f.scmp_->host_join(1, kGroup);
+  f.queue_.run_all();
+  EXPECT_TRUE(f.scmp_->network_state_consistent(kGroup));
+  EXPECT_EQ(f.send_and_collect(5), (std::vector<graph::NodeId>{1, 3}));
+}
+
+TEST(ScmpFailover, LeavesContinueAfterFailover) {
+  FailoverFixture f(test::line(6), 0);
+  f.scmp_->host_join(3, kGroup);
+  f.scmp_->host_join(1, kGroup);
+  f.queue_.run_all();
+  f.scmp_->fail_over_to(5);
+  f.queue_.run_all();
+  f.scmp_->host_leave(3, kGroup);
+  f.queue_.run_all();
+  EXPECT_TRUE(f.scmp_->network_state_consistent(kGroup));
+  EXPECT_EQ(f.send_and_collect(5), (std::vector<graph::NodeId>{1}));
+}
+
+TEST(ScmpFailover, MultipleGroupsAllRebuilt) {
+  FailoverFixture f(test::line(6), 0);
+  f.scmp_->host_join(3, 1);
+  f.scmp_->host_join(4, 2);
+  f.queue_.run_all();
+  f.scmp_->fail_over_to(5);
+  f.queue_.run_all();
+  EXPECT_TRUE(f.scmp_->network_state_consistent(1));
+  EXPECT_TRUE(f.scmp_->network_state_consistent(2));
+  EXPECT_EQ(f.scmp_->group_tree(1)->root(), 5);
+  EXPECT_EQ(f.scmp_->group_tree(2)->root(), 5);
+}
+
+}  // namespace
+}  // namespace scmp::core

@@ -1,0 +1,117 @@
+#include "fabric/ccn_circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace scmp::fabric {
+namespace {
+
+TEST(CcnCircuit, EmptyConfigurationPassesThrough) {
+  CcnCircuit c(8);
+  c.configure({});
+  EXPECT_EQ(c.element_count(), 0);
+  EXPECT_EQ(c.stage_count(), 0);
+  for (int l = 0; l < 8; ++l) EXPECT_EQ(c.leader_of(l), l);
+}
+
+TEST(CcnCircuit, PairBlockUsesOneElement) {
+  CcnCircuit c(8);
+  c.configure({{2, 2}});
+  ASSERT_EQ(c.element_count(), 1);
+  EXPECT_EQ(c.elements()[0].from_line, 3);
+  EXPECT_EQ(c.elements()[0].into_line, 2);
+  EXPECT_EQ(c.leader_of(3), 2);
+  EXPECT_EQ(c.leader_of(2), 2);
+}
+
+TEST(CcnCircuit, BlockNeedsLenMinusOneElements) {
+  // A binary reduction of k signals always uses exactly k-1 combiners.
+  for (int len = 1; len <= 16; ++len) {
+    CcnCircuit c(16);
+    c.configure({{0, len}});
+    EXPECT_EQ(c.element_count(), len - 1) << "len " << len;
+    // ceil(log2(len)) stages.
+    int stages = 0, span = 1;
+    while (span < len) {
+      span *= 2;
+      ++stages;
+    }
+    EXPECT_EQ(c.stage_count(), stages) << "len " << len;
+  }
+}
+
+TEST(CcnCircuit, PropagateMergesWholeBlockToLeader) {
+  CcnCircuit c(8);
+  c.configure({{1, 5}});
+  std::vector<int> inputs(8, -1);
+  for (int l = 1; l <= 5; ++l) inputs[static_cast<std::size_t>(l)] = 100 + l;
+  const auto out = c.propagate(inputs);
+  EXPECT_EQ(out[1], (std::vector<int>{1, 2, 3, 4, 5}));
+  for (int l = 2; l <= 5; ++l)
+    EXPECT_TRUE(out[static_cast<std::size_t>(l)].empty());
+}
+
+TEST(CcnCircuit, IdleLinesCarryNothing) {
+  CcnCircuit c(4);
+  c.configure({{0, 4}});
+  std::vector<int> inputs{7, -1, -1, 9};  // only lines 0 and 3 active
+  const auto out = c.propagate(inputs);
+  EXPECT_EQ(out[0], (std::vector<int>{0, 3}));
+}
+
+TEST(CcnCircuit, MatchesAbstractCcnOnRandomBlocks) {
+  Rng rng(55);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 32;
+    CcnCircuit circuit(n);
+    ConnectionComponentNetwork abstract(n);
+    // Random disjoint contiguous blocks.
+    std::vector<Block> blocks;
+    int pos = 0;
+    while (pos < n) {
+      const int len = static_cast<int>(rng.uniform_int(1, 5));
+      if (pos + len > n) break;
+      if (rng.chance(0.7)) blocks.push_back({pos, len});
+      pos += len + static_cast<int>(rng.uniform_int(0, 2));
+    }
+    circuit.configure(blocks);
+    abstract.configure(blocks);
+    for (int l = 0; l < n; ++l)
+      ASSERT_EQ(circuit.leader_of(l), abstract.leader_of(l))
+          << "trial " << trial << " line " << l;
+
+    // Full propagation: every block's active lines land on its leader, and
+    // nothing crosses between blocks.
+    std::vector<int> inputs(static_cast<std::size_t>(n), -1);
+    for (int l = 0; l < n; ++l)
+      if (rng.chance(0.8)) inputs[static_cast<std::size_t>(l)] = l;
+    const auto out = circuit.propagate(inputs);
+    for (const Block& b : blocks) {
+      std::vector<int> expect;
+      for (int i = 0; i < b.length; ++i)
+        if (inputs[static_cast<std::size_t>(b.start + i)] != -1)
+          expect.push_back(b.start + i);
+      ASSERT_EQ(out[static_cast<std::size_t>(b.start)], expect);
+    }
+  }
+}
+
+TEST(CcnCircuit, StageDepthMatchesAbstractMergeDepth) {
+  CcnCircuit circuit(16);
+  ConnectionComponentNetwork abstract(16);
+  const std::vector<Block> blocks{{0, 7}, {8, 8}};
+  circuit.configure(blocks);
+  abstract.configure(blocks);
+  EXPECT_EQ(circuit.stage_count(), 3);           // ceil(log2(8))
+  EXPECT_EQ(abstract.merge_depth(0), 3);         // ceil(log2(7))
+  EXPECT_EQ(abstract.merge_depth(8), 3);
+}
+
+TEST(CcnCircuitDeath, RejectsOverlappingBlocks) {
+  CcnCircuit c(8);
+  EXPECT_DEATH(c.configure({{0, 4}, {3, 2}}), "Precondition");
+}
+
+}  // namespace
+}  // namespace scmp::fabric

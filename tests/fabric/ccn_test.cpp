@@ -1,0 +1,65 @@
+#include "fabric/ccn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scmp::fabric {
+namespace {
+
+TEST(Ccn, UnconfiguredPassesThrough) {
+  ConnectionComponentNetwork ccn(8);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(ccn.leader_of(i), i);
+    EXPECT_EQ(ccn.merge_depth(i), 0);
+  }
+  EXPECT_TRUE(ccn.verify_isolation());
+}
+
+TEST(Ccn, SingleBlockMerges) {
+  ConnectionComponentNetwork ccn(8);
+  ccn.configure({{2, 3}});
+  EXPECT_EQ(ccn.leader_of(2), 2);
+  EXPECT_EQ(ccn.leader_of(3), 2);
+  EXPECT_EQ(ccn.leader_of(4), 2);
+  EXPECT_EQ(ccn.leader_of(5), 5);  // outside the block
+  EXPECT_TRUE(ccn.verify_isolation());
+}
+
+TEST(Ccn, MultipleDisjointBlocks) {
+  ConnectionComponentNetwork ccn(8);
+  ccn.configure({{0, 2}, {4, 4}});
+  EXPECT_EQ(ccn.leader_of(1), 0);
+  EXPECT_EQ(ccn.leader_of(7), 4);
+  EXPECT_EQ(ccn.leader_of(2), 2);
+  EXPECT_TRUE(ccn.verify_isolation());
+}
+
+TEST(Ccn, MergeDepthIsLogOfBlockSize) {
+  ConnectionComponentNetwork ccn(16);
+  ccn.configure({{0, 1}, {1, 2}, {3, 4}, {7, 5}});
+  EXPECT_EQ(ccn.merge_depth(0), 0);
+  EXPECT_EQ(ccn.merge_depth(1), 1);
+  EXPECT_EQ(ccn.merge_depth(3), 2);
+  EXPECT_EQ(ccn.merge_depth(7), 3);  // ceil(log2(5))
+}
+
+TEST(Ccn, ReconfigureClearsPrevious) {
+  ConnectionComponentNetwork ccn(8);
+  ccn.configure({{0, 8}});
+  ccn.configure({{4, 2}});
+  EXPECT_EQ(ccn.leader_of(0), 0);
+  EXPECT_EQ(ccn.leader_of(5), 4);
+  EXPECT_TRUE(ccn.verify_isolation());
+}
+
+TEST(CcnDeath, RejectsOverlappingBlocks) {
+  ConnectionComponentNetwork ccn(8);
+  EXPECT_DEATH(ccn.configure({{0, 3}, {2, 2}}), "Precondition");
+}
+
+TEST(CcnDeath, RejectsOutOfRangeBlock) {
+  ConnectionComponentNetwork ccn(8);
+  EXPECT_DEATH(ccn.configure({{6, 3}}), "Precondition");
+}
+
+}  // namespace
+}  // namespace scmp::fabric

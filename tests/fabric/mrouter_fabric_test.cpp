@@ -1,0 +1,147 @@
+#include "fabric/mrouter_fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace scmp::fabric {
+namespace {
+
+TEST(MRouterFabric, SingleSessionSingleSource) {
+  MRouterFabric fab(8);
+  fab.configure({{1, {3}}});
+  EXPECT_EQ(fab.group_of_input(3), 1);
+  EXPECT_EQ(fab.group_of_input(0), -1);
+  EXPECT_EQ(fab.route_cell(3), fab.output_port(1));
+  EXPECT_TRUE(fab.verify_no_cross_group());
+}
+
+TEST(MRouterFabric, ManyToOneMerging) {
+  // All three sources of group 5 must land on the same output port.
+  MRouterFabric fab(8);
+  fab.configure({{5, {0, 4, 7}}});
+  const int out = fab.output_port(5);
+  EXPECT_EQ(fab.route_cell(0), out);
+  EXPECT_EQ(fab.route_cell(4), out);
+  EXPECT_EQ(fab.route_cell(7), out);
+  EXPECT_TRUE(fab.verify_no_cross_group());
+}
+
+TEST(MRouterFabric, SimultaneousManyToManySessions) {
+  MRouterFabric fab(16);
+  fab.configure({{1, {0, 5}}, {2, {1, 9, 13}}, {3, {2}}, {4, {3, 4, 6, 7}}});
+  std::set<int> outputs;
+  for (int group : {1, 2, 3, 4}) outputs.insert(fab.output_port(group));
+  EXPECT_EQ(outputs.size(), 4u);  // distinct ports per group
+  EXPECT_TRUE(fab.verify_no_cross_group());
+}
+
+TEST(MRouterFabric, FullCapacity) {
+  // Every input port carries a source: 4 groups x 4 sources on 16 ports.
+  MRouterFabric fab(16);
+  std::vector<FabricSession> sessions;
+  for (int group = 0; group < 4; ++group) {
+    FabricSession s;
+    s.group = group;
+    for (int i = 0; i < 4; ++i) s.input_ports.push_back(group * 4 + i);
+    sessions.push_back(s);
+  }
+  fab.configure(sessions);
+  EXPECT_TRUE(fab.verify_no_cross_group());
+}
+
+TEST(MRouterFabric, ReconfigureReplacesSessions) {
+  MRouterFabric fab(8);
+  fab.configure({{1, {0, 1}}});
+  fab.configure({{2, {6, 7}}});
+  EXPECT_EQ(fab.group_of_input(0), -1);
+  EXPECT_EQ(fab.group_of_input(6), 2);
+  EXPECT_TRUE(fab.verify_no_cross_group());
+}
+
+TEST(MRouterFabric, LoadBalancingSpreadsPorts) {
+  // Repeated single-group configurations should rotate across output ports
+  // instead of reusing one.
+  MRouterFabric fab(8);
+  std::set<int> used;
+  for (int round = 0; round < 8; ++round) {
+    fab.configure({{round, {0, 1}}});
+    used.insert(fab.output_port(round));
+  }
+  EXPECT_EQ(used.size(), 8u);
+}
+
+TEST(MRouterFabric, PortLoadAccumulates) {
+  MRouterFabric fab(8);
+  fab.configure({{1, {0, 1, 2}}});
+  std::uint64_t total = 0;
+  for (auto l : fab.port_load()) total += l;
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(MRouterFabric, PathDepthPositiveForMerged) {
+  MRouterFabric fab(16);
+  fab.configure({{1, {0, 1, 2, 3}}});
+  EXPECT_GE(fab.path_depth(0), 2 * fab.pn().stage_count());
+  EXPECT_GT(fab.path_depth(0), fab.path_depth(15));  // merged vs idle line
+}
+
+class FabricRandomSessions
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FabricRandomSessions, IsolationAlwaysHolds) {
+  Rng rng(GetParam());
+  MRouterFabric fab(64);
+  for (int round = 0; round < 10; ++round) {
+    // Random disjoint sessions over 64 ports.
+    std::vector<int> ports(64);
+    for (int i = 0; i < 64; ++i) ports[static_cast<std::size_t>(i)] = i;
+    rng.shuffle(ports);
+    std::vector<FabricSession> sessions;
+    std::size_t pos = 0;
+    const int groups = static_cast<int>(rng.uniform_int(1, 8));
+    for (int group = 0; group < groups && pos < ports.size(); ++group) {
+      FabricSession s;
+      s.group = group;
+      const auto take = static_cast<std::size_t>(rng.uniform_int(1, 6));
+      for (std::size_t i = 0; i < take && pos < ports.size(); ++i)
+        s.input_ports.push_back(ports[pos++]);
+      sessions.push_back(std::move(s));
+    }
+    fab.configure(sessions);
+    ASSERT_TRUE(fab.verify_no_cross_group()) << "round " << round;
+    // Every session's sources agree on one output port.
+    for (const auto& s : sessions) {
+      const int out = fab.output_port(s.group);
+      for (int p : s.input_ports) ASSERT_EQ(fab.route_cell(p), out);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FabricRandomSessions,
+                         ::testing::Values(1, 7, 19, 101, 9999));
+
+TEST(MRouterFabricDeath, RejectsDuplicateInputPort) {
+  MRouterFabric fab(8);
+  EXPECT_DEATH(fab.configure({{1, {0, 0}}}), "Precondition");
+}
+
+TEST(MRouterFabricDeath, RejectsSharedPortAcrossGroups) {
+  MRouterFabric fab(8);
+  EXPECT_DEATH(fab.configure({{1, {0}}, {2, {0}}}), "Precondition");
+}
+
+TEST(MRouterFabricDeath, RejectsDuplicateGroup) {
+  MRouterFabric fab(8);
+  EXPECT_DEATH(fab.configure({{1, {0}}, {1, {1}}}), "Precondition");
+}
+
+TEST(MRouterFabricDeath, RejectsUnknownGroupQuery) {
+  MRouterFabric fab(8);
+  EXPECT_DEATH(fab.output_port(42), "Precondition");
+}
+
+}  // namespace
+}  // namespace scmp::fabric

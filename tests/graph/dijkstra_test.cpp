@@ -1,0 +1,116 @@
+#include "graph/dijkstra.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace scmp::graph {
+namespace {
+
+TEST(Dijkstra, LineGraphDistances) {
+  const Graph g = test::line(5);
+  const ShortestPaths sp = dijkstra(g, 0, Metric::kDelay);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_DOUBLE_EQ(sp.distance(v), v);
+}
+
+TEST(Dijkstra, DiamondMetricsDiffer) {
+  const Graph g = test::diamond();
+  const ShortestPaths by_delay = dijkstra(g, 0, Metric::kDelay);
+  const ShortestPaths by_cost = dijkstra(g, 0, Metric::kCost);
+  EXPECT_DOUBLE_EQ(by_delay.distance(3), 2.0);   // 0-1-3
+  EXPECT_DOUBLE_EQ(by_cost.distance(3), 2.0);    // 0-2-3
+  EXPECT_EQ(by_delay.path_to(3), (std::vector<NodeId>{0, 1, 3}));
+  EXPECT_EQ(by_cost.path_to(3), (std::vector<NodeId>{0, 2, 3}));
+}
+
+TEST(Dijkstra, SourceDistanceZero) {
+  const Graph g = test::diamond();
+  const ShortestPaths sp = dijkstra(g, 2, Metric::kDelay);
+  EXPECT_DOUBLE_EQ(sp.distance(2), 0.0);
+  EXPECT_EQ(sp.path_to(2), std::vector<NodeId>{2});
+}
+
+TEST(Dijkstra, UnreachableNode) {
+  Graph g(3);
+  g.add_edge(0, 1, 1, 1);
+  const ShortestPaths sp = dijkstra(g, 0, Metric::kDelay);
+  EXPECT_FALSE(sp.reachable(2));
+  EXPECT_TRUE(sp.path_to(2).empty());
+}
+
+TEST(Dijkstra, PaperFig5UnicastDelays) {
+  // The paper's worked example quotes these shortest delays from node 0.
+  const Graph g = test::paper_fig5_topology();
+  const ShortestPaths sp = dijkstra(g, 0, Metric::kDelay);
+  EXPECT_DOUBLE_EQ(sp.distance(4), 12.0);  // ul(g1), via 0-1-4
+  EXPECT_DOUBLE_EQ(sp.distance(3), 2.0);   // ul(g2), via 0-3
+  EXPECT_DOUBLE_EQ(sp.distance(5), 11.0);  // ul(g3), via 0-2-5
+  EXPECT_EQ(sp.path_to(4), (std::vector<NodeId>{0, 1, 4}));
+  EXPECT_EQ(sp.path_to(5), (std::vector<NodeId>{0, 2, 5}));
+}
+
+TEST(Dijkstra, DeterministicTieBreaking) {
+  // Two equal-delay paths 0->3: 0-1-3 and 0-2-3; canonical tree must pick the
+  // smaller-id parent (1).
+  Graph g(4);
+  g.add_edge(0, 1, 1, 1);
+  g.add_edge(0, 2, 1, 1);
+  g.add_edge(1, 3, 1, 1);
+  g.add_edge(2, 3, 1, 1);
+  const ShortestPaths sp = dijkstra(g, 0, Metric::kDelay);
+  EXPECT_EQ(sp.parent[3], 1);
+}
+
+TEST(Dijkstra, ZeroWeightEdges) {
+  Graph g(3);
+  g.add_edge(0, 1, 0, 0);
+  g.add_edge(1, 2, 0, 0);
+  const ShortestPaths sp = dijkstra(g, 0, Metric::kDelay);
+  EXPECT_DOUBLE_EQ(sp.distance(2), 0.0);
+  EXPECT_EQ(sp.path_to(2).size(), 3u);
+}
+
+class DijkstraProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DijkstraProperty, EdgeRelaxationHolds) {
+  const auto topo = test::random_topology(GetParam());
+  const Graph& g = topo.graph;
+  for (const Metric metric : {Metric::kDelay, Metric::kCost}) {
+    const ShortestPaths sp = dijkstra(g, 0, metric);
+    // No edge can improve any distance (Bellman optimality).
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (const auto& nb : g.neighbors(u)) {
+        EXPECT_LE(sp.distance(nb.to),
+                  sp.distance(u) + weight_of(nb.attr, metric) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(DijkstraProperty, PathsMatchDistances) {
+  const auto topo = test::random_topology(GetParam());
+  const Graph& g = topo.graph;
+  const ShortestPaths sp = dijkstra(g, 3 % g.num_nodes(), Metric::kDelay);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto path = sp.path_to(v);
+    ASSERT_FALSE(path.empty());
+    EXPECT_NEAR(path_weight(g, path, Metric::kDelay), sp.distance(v), 1e-9);
+  }
+}
+
+TEST_P(DijkstraProperty, SymmetricDistances) {
+  // Links are symmetric, so d(u,v) == d(v,u).
+  const auto topo = test::random_topology(GetParam(), 20);
+  const Graph& g = topo.graph;
+  const ShortestPaths from0 = dijkstra(g, 0, Metric::kDelay);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const ShortestPaths back = dijkstra(g, v, Metric::kDelay);
+    EXPECT_NEAR(from0.distance(v), back.distance(0), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraProperty,
+                         ::testing::Values(1, 7, 42, 1001, 31337));
+
+}  // namespace
+}  // namespace scmp::graph

@@ -1,0 +1,137 @@
+#include "graph/mst.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/dijkstra.hpp"
+#include "helpers.hpp"
+
+namespace scmp::graph {
+namespace {
+
+double mst_weight(const Graph& g, const std::vector<NodeId>& parent,
+                  Metric metric) {
+  double total = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const NodeId p = parent[static_cast<std::size_t>(v)];
+    if (p == kInvalidNode) continue;
+    const EdgeAttr* e = g.edge(v, p);
+    EXPECT_NE(e, nullptr);
+    total += weight_of(*e, metric);
+  }
+  return total;
+}
+
+/// Kruskal reference implementation for cross-checking Prim.
+double kruskal_weight(const Graph& g, Metric metric) {
+  struct E {
+    double w;
+    NodeId u, v;
+  };
+  std::vector<E> edges;
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    for (const auto& nb : g.neighbors(u))
+      if (u < nb.to) edges.push_back({weight_of(nb.attr, metric), u, nb.to});
+  std::sort(edges.begin(), edges.end(),
+            [](const E& a, const E& b) { return a.w < b.w; });
+  std::vector<NodeId> uf(static_cast<std::size_t>(g.num_nodes()));
+  std::iota(uf.begin(), uf.end(), 0);
+  auto find = [&](NodeId x) {
+    while (uf[static_cast<std::size_t>(x)] != x)
+      x = uf[static_cast<std::size_t>(x)] =
+          uf[static_cast<std::size_t>(uf[static_cast<std::size_t>(x)])];
+    return x;
+  };
+  double total = 0.0;
+  for (const E& e : edges) {
+    const NodeId ru = find(e.u), rv = find(e.v);
+    if (ru == rv) continue;
+    uf[static_cast<std::size_t>(ru)] = rv;
+    total += e.w;
+  }
+  return total;
+}
+
+TEST(PrimMst, LineGraph) {
+  const Graph g = test::line(5);
+  const auto parent = prim_mst(g, 0, Metric::kCost);
+  EXPECT_EQ(parent[0], kInvalidNode);
+  for (NodeId v = 1; v < 5; ++v) EXPECT_EQ(parent[static_cast<std::size_t>(v)], v - 1);
+}
+
+TEST(PrimMst, PrefersCheapEdges) {
+  Graph g(3);
+  g.add_edge(0, 1, 1, 10);
+  g.add_edge(0, 2, 1, 1);
+  g.add_edge(1, 2, 1, 1);
+  const auto parent = prim_mst(g, 0, Metric::kCost);
+  // MST must use 0-2 and 2-1 (total 2), not 0-1 (10).
+  EXPECT_EQ(parent[2], 0);
+  EXPECT_EQ(parent[1], 2);
+}
+
+TEST(PrimMst, DisconnectedLeavesUnreached) {
+  Graph g(4);
+  g.add_edge(0, 1, 1, 1);
+  g.add_edge(2, 3, 1, 1);
+  const auto parent = prim_mst(g, 0, Metric::kCost);
+  EXPECT_EQ(parent[1], 0);
+  EXPECT_EQ(parent[2], kInvalidNode);
+  EXPECT_EQ(parent[3], kInvalidNode);
+}
+
+class PrimProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrimProperty, MatchesKruskalWeight) {
+  const auto topo = test::random_topology(GetParam(), 25);
+  const Graph& g = topo.graph;
+  for (const Metric metric : {Metric::kDelay, Metric::kCost}) {
+    const auto parent = prim_mst(g, 0, metric);
+    EXPECT_NEAR(mst_weight(g, parent, metric), kruskal_weight(g, metric), 1e-6);
+  }
+}
+
+TEST_P(PrimProperty, SpansConnectedGraph) {
+  const auto topo = test::random_topology(GetParam(), 25);
+  const Graph& g = topo.graph;
+  const auto parent = prim_mst(g, 0, Metric::kCost);
+  int reached = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (v == 0 || parent[static_cast<std::size_t>(v)] != kInvalidNode)
+      ++reached;
+  EXPECT_EQ(reached, g.num_nodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrimProperty,
+                         ::testing::Values(5, 17, 23, 404));
+
+TEST(PrimDense, SmallMatrix) {
+  // Complete graph on 3 nodes with weights 0-1:1, 0-2:5, 1-2:2.
+  const double inf = kUnreachable;
+  const std::vector<std::vector<double>> w{
+      {inf, 1, 5}, {1, inf, 2}, {5, 2, inf}};
+  const auto parent = prim_mst_dense(w, 0);
+  EXPECT_EQ(parent[0], kInvalidNode);
+  EXPECT_EQ(parent[1], 0);
+  EXPECT_EQ(parent[2], 1);
+}
+
+TEST(PrimDense, UnreachablePartition) {
+  const double inf = kUnreachable;
+  const std::vector<std::vector<double>> w{
+      {inf, 1, inf}, {1, inf, inf}, {inf, inf, inf}};
+  const auto parent = prim_mst_dense(w, 0);
+  EXPECT_EQ(parent[1], 0);
+  EXPECT_EQ(parent[2], kInvalidNode);
+}
+
+TEST(PrimDense, SingleNode) {
+  const auto parent = prim_mst_dense({{kUnreachable}}, 0);
+  EXPECT_EQ(parent.size(), 1u);
+  EXPECT_EQ(parent[0], kInvalidNode);
+}
+
+}  // namespace
+}  // namespace scmp::graph

@@ -1,0 +1,119 @@
+#include "graph/paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "helpers.hpp"
+
+namespace scmp::graph {
+namespace {
+
+TEST(AllPairsPaths, DiamondBothMetrics) {
+  const Graph g = test::diamond();
+  const AllPairsPaths paths(g);
+  EXPECT_DOUBLE_EQ(paths.sl_delay(0, 3), 2.0);
+  EXPECT_DOUBLE_EQ(paths.lc_cost(0, 3), 2.0);
+  EXPECT_EQ(paths.sl_path(0, 3), (std::vector<NodeId>{0, 1, 3}));
+  EXPECT_EQ(paths.lc_path(0, 3), (std::vector<NodeId>{0, 2, 3}));
+}
+
+TEST(AllPairsPaths, SelfDistancesZero) {
+  const Graph g = test::diamond();
+  const AllPairsPaths paths(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(paths.sl_delay(v, v), 0.0);
+    EXPECT_DOUBLE_EQ(paths.lc_cost(v, v), 0.0);
+  }
+}
+
+TEST(AllPairsPaths, NumNodes) {
+  const Graph g = test::line(7);
+  const AllPairsPaths paths(g);
+  EXPECT_EQ(paths.num_nodes(), 7);
+}
+
+class AllPairsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllPairsProperty, SymmetricAndConsistent) {
+  const auto topo = test::random_topology(GetParam(), 25);
+  const Graph& g = topo.graph;
+  const AllPairsPaths paths(g);
+  for (NodeId u = 0; u < g.num_nodes(); u += 3) {
+    for (NodeId v = 0; v < g.num_nodes(); v += 5) {
+      EXPECT_NEAR(paths.sl_delay(u, v), paths.sl_delay(v, u), 1e-9);
+      EXPECT_NEAR(paths.lc_cost(u, v), paths.lc_cost(v, u), 1e-9);
+      // The least-cost path can never have lower delay-optimality than the
+      // shortest-delay path and vice versa.
+      const auto slp = paths.sl_path(u, v);
+      const auto lcp = paths.lc_path(u, v);
+      EXPECT_LE(path_weight(g, slp, Metric::kDelay),
+                path_weight(g, lcp, Metric::kDelay) + 1e-9);
+      EXPECT_LE(path_weight(g, lcp, Metric::kCost),
+                path_weight(g, slp, Metric::kCost) + 1e-9);
+    }
+  }
+}
+
+TEST_P(AllPairsProperty, PathsAgreeWithDistances) {
+  const auto topo = test::random_topology(GetParam(), 20);
+  const Graph& g = topo.graph;
+  const AllPairsPaths paths(g);
+  for (NodeId u = 0; u < g.num_nodes(); u += 4) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_NEAR(path_weight(g, paths.sl_path(u, v), Metric::kDelay),
+                  paths.sl_delay(u, v), 1e-9);
+      EXPECT_NEAR(path_weight(g, paths.lc_path(u, v), Metric::kCost),
+                  paths.lc_cost(u, v), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllPairsProperty,
+                         ::testing::Values(3, 11, 99, 2024));
+
+/// Reference all-pairs distances by Floyd-Warshall.
+std::vector<std::vector<double>> floyd_warshall(const Graph& g,
+                                                Metric metric) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, kUnreachable));
+  for (std::size_t v = 0; v < n; ++v) d[v][v] = 0.0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    for (const auto& nb : g.neighbors(u))
+      d[static_cast<std::size_t>(u)][static_cast<std::size_t>(nb.to)] =
+          weight_of(nb.attr, metric);
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        d[i][j] = std::min(d[i][j], d[i][k] + d[k][j]);
+  return d;
+}
+
+class FloydWarshallCrossCheck
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FloydWarshallCrossCheck, DistancesAgree) {
+  const auto topo = test::random_topology(GetParam(), 22);
+  const Graph& g = topo.graph;
+  const AllPairsPaths paths(g);
+  const auto fw_delay = floyd_warshall(g, Metric::kDelay);
+  const auto fw_cost = floyd_warshall(g, Metric::kCost);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_NEAR(paths.sl_delay(u, v),
+                  fw_delay[static_cast<std::size_t>(u)]
+                          [static_cast<std::size_t>(v)],
+                  1e-6);
+      ASSERT_NEAR(paths.lc_cost(u, v),
+                  fw_cost[static_cast<std::size_t>(u)]
+                         [static_cast<std::size_t>(v)],
+                  1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FloydWarshallCrossCheck,
+                         ::testing::Values(4, 44, 444));
+
+}  // namespace
+}  // namespace scmp::graph

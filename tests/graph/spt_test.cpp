@@ -1,0 +1,71 @@
+#include "graph/spt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/dijkstra.hpp"
+#include "helpers.hpp"
+
+namespace scmp::graph {
+namespace {
+
+TEST(Spt, SingleMember) {
+  const Graph g = test::diamond();
+  const MulticastTree t = shortest_path_tree(g, 0, {3});
+  EXPECT_TRUE(t.is_member(3));
+  EXPECT_DOUBLE_EQ(t.node_delay(g, 3), 2.0);  // 0-1-3
+  EXPECT_TRUE(t.validate(g));
+}
+
+TEST(Spt, EmptyMembers) {
+  const Graph g = test::line(3);
+  const MulticastTree t = shortest_path_tree(g, 0, {});
+  EXPECT_EQ(t.tree_size(), 1);
+  EXPECT_DOUBLE_EQ(t.tree_delay(g), 0.0);
+}
+
+TEST(Spt, MemberDelaysEqualUnicastDelays) {
+  const Graph g = test::paper_fig5_topology();
+  const std::vector<NodeId> members{3, 4, 5};
+  const MulticastTree t = shortest_path_tree(g, 0, members);
+  const ShortestPaths sp = dijkstra(g, 0, Metric::kDelay);
+  for (NodeId m : members)
+    EXPECT_DOUBLE_EQ(t.node_delay(g, m), sp.distance(m));
+  // SPT achieves the minimum possible tree delay: max unicast delay.
+  EXPECT_DOUBLE_EQ(t.tree_delay(g), 12.0);
+}
+
+class SptProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SptProperty, AlwaysMinimalDelayPerMember) {
+  const auto topo = test::random_topology(GetParam(), 30);
+  const Graph& g = topo.graph;
+  Rng rng(GetParam() + 1);
+  const auto sample = rng.sample_without_replacement(g.num_nodes() - 1, 10);
+  std::vector<NodeId> members;
+  for (int v : sample) members.push_back(v + 1);
+  const MulticastTree t = shortest_path_tree(g, 0, members);
+  const ShortestPaths sp = dijkstra(g, 0, Metric::kDelay);
+  EXPECT_TRUE(t.validate(g));
+  for (NodeId m : members)
+    EXPECT_NEAR(t.node_delay(g, m), sp.distance(m), 1e-9);
+}
+
+TEST_P(SptProperty, CostAtMostSumOfPaths) {
+  const auto topo = test::random_topology(GetParam(), 30);
+  const Graph& g = topo.graph;
+  Rng rng(GetParam() + 2);
+  const auto sample = rng.sample_without_replacement(g.num_nodes() - 1, 10);
+  std::vector<NodeId> members;
+  for (int v : sample) members.push_back(v + 1);
+  const MulticastTree t = shortest_path_tree(g, 0, members);
+  const ShortestPaths sp = dijkstra(g, 0, Metric::kDelay);
+  double sum = 0.0;
+  for (NodeId m : members)
+    sum += path_weight(g, sp.path_to(m), Metric::kCost);
+  EXPECT_LE(t.tree_cost(g), sum + 1e-9);  // shared prefixes only help
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SptProperty, ::testing::Values(6, 21, 300));
+
+}  // namespace
+}  // namespace scmp::graph

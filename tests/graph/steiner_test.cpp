@@ -1,0 +1,182 @@
+#include "graph/steiner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/mst.hpp"
+#include "helpers.hpp"
+
+namespace scmp::graph {
+namespace {
+
+/// Exact minimum-cost Steiner tree by brute force over Steiner-node subsets;
+/// feasible only for tiny graphs.
+double optimal_steiner_cost(const Graph& g, NodeId root,
+                            const std::vector<NodeId>& members) {
+  std::vector<NodeId> required{root};
+  required.insert(required.end(), members.begin(), members.end());
+  std::sort(required.begin(), required.end());
+  required.erase(std::unique(required.begin(), required.end()),
+                 required.end());
+  std::vector<NodeId> optional;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (!std::binary_search(required.begin(), required.end(), v))
+      optional.push_back(v);
+
+  double best = kUnreachable;
+  const int subsets = 1 << optional.size();
+  for (int mask = 0; mask < subsets; ++mask) {
+    // Induced subgraph on required + selected optionals; its MST cost (if it
+    // spans all required nodes) is a candidate.
+    std::vector<char> in(static_cast<std::size_t>(g.num_nodes()), 0);
+    for (NodeId v : required) in[static_cast<std::size_t>(v)] = 1;
+    for (std::size_t i = 0; i < optional.size(); ++i)
+      if (mask & (1 << i)) in[static_cast<std::size_t>(optional[i])] = 1;
+
+    Graph sub(g.num_nodes());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (!in[static_cast<std::size_t>(u)]) continue;
+      for (const auto& nb : g.neighbors(u)) {
+        if (u < nb.to && in[static_cast<std::size_t>(nb.to)] &&
+            !sub.has_edge(u, nb.to))
+          sub.add_edge(u, nb.to, nb.attr.delay, nb.attr.cost);
+      }
+    }
+    const auto parent = prim_mst(sub, root, Metric::kCost);
+    double cost = 0.0;
+    bool spans = true;
+    for (NodeId v : required) {
+      if (v != root && parent[static_cast<std::size_t>(v)] == kInvalidNode) {
+        spans = false;
+        break;
+      }
+    }
+    if (!spans) continue;
+    // Cost of the MST restricted to branches leading to required nodes: prune
+    // non-required leaves first by walking up from required nodes.
+    std::vector<char> keep(static_cast<std::size_t>(g.num_nodes()), 0);
+    for (NodeId v : required) {
+      NodeId cur = v;
+      while (cur != kInvalidNode && !keep[static_cast<std::size_t>(cur)]) {
+        keep[static_cast<std::size_t>(cur)] = 1;
+        cur = parent[static_cast<std::size_t>(cur)];
+      }
+    }
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (!keep[static_cast<std::size_t>(v)]) continue;
+      const NodeId p = parent[static_cast<std::size_t>(v)];
+      if (p == kInvalidNode) continue;
+      cost += g.edge(v, p)->cost;
+    }
+    best = std::min(best, cost);
+  }
+  return best;
+}
+
+TEST(KmbSteiner, TrivialSingleMember) {
+  const Graph g = test::line(4);
+  const AllPairsPaths paths(g);
+  const MulticastTree t = kmb_steiner(g, paths, 0, {3});
+  EXPECT_TRUE(t.on_tree(3));
+  EXPECT_TRUE(t.is_member(3));
+  EXPECT_DOUBLE_EQ(t.tree_cost(g), 3.0);
+}
+
+TEST(KmbSteiner, MemberEqualsRoot) {
+  const Graph g = test::line(3);
+  const AllPairsPaths paths(g);
+  const MulticastTree t = kmb_steiner(g, paths, 0, {0});
+  EXPECT_EQ(t.tree_size(), 1);
+  EXPECT_DOUBLE_EQ(t.tree_cost(g), 0.0);
+}
+
+TEST(KmbSteiner, UsesSteinerNode) {
+  // Star around node 4: terminals 0..2 are best connected through the hub,
+  // and the hub routes are also the pairwise least-cost paths (2 < 2.5), so
+  // KMB's terminal closure discovers the Steiner node.
+  Graph g(5);
+  g.add_edge(0, 4, 1, 1);
+  g.add_edge(1, 4, 1, 1);
+  g.add_edge(2, 4, 1, 1);
+  g.add_edge(0, 1, 1, 2.5);
+  g.add_edge(1, 2, 1, 2.5);
+  const AllPairsPaths paths(g);
+  const MulticastTree t = kmb_steiner(g, paths, 0, {1, 2});
+  EXPECT_TRUE(t.on_tree(4));  // the Steiner node
+  EXPECT_DOUBLE_EQ(t.tree_cost(g), 3.0);
+}
+
+TEST(KmbSteiner, PrunesUselessLeaves) {
+  const Graph g = test::diamond();
+  const AllPairsPaths paths(g);
+  const MulticastTree t = kmb_steiner(g, paths, 0, {3});
+  // Only one of the two 0->3 routes may survive.
+  EXPECT_EQ(t.tree_size(), 3);
+  EXPECT_DOUBLE_EQ(t.tree_cost(g), 2.0);  // cheap route 0-2-3
+}
+
+TEST(KmbSteiner, DuplicateMembersAccepted) {
+  const Graph g = test::line(4);
+  const AllPairsPaths paths(g);
+  const MulticastTree t = kmb_steiner(g, paths, 0, {3, 3, 2});
+  EXPECT_TRUE(t.is_member(3));
+  EXPECT_TRUE(t.is_member(2));
+}
+
+class KmbProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KmbProperty, SpansAllMembersAndValidates) {
+  const auto topo = test::random_topology(GetParam(), 30);
+  const Graph& g = topo.graph;
+  const AllPairsPaths paths(g);
+  Rng rng(GetParam() * 31);
+  const auto sample = rng.sample_without_replacement(g.num_nodes() - 1, 8);
+  std::vector<NodeId> members;
+  for (int v : sample) members.push_back(v + 1);  // avoid the root
+  const MulticastTree t = kmb_steiner(g, paths, 0, members);
+  EXPECT_TRUE(t.validate(g));
+  for (NodeId m : members) {
+    EXPECT_TRUE(t.on_tree(m));
+    EXPECT_TRUE(t.is_member(m));
+  }
+  // Every tree leaf must be a member (or the root): KMB prunes the rest.
+  for (NodeId v : t.on_tree_nodes()) {
+    if (t.is_leaf(v) && v != t.root()) {
+      EXPECT_TRUE(t.is_member(v));
+    }
+  }
+}
+
+TEST_P(KmbProperty, WithinTwiceOptimalOnSmallGraphs) {
+  // KMB guarantees cost <= 2(1 - 1/|terminals|) * optimal.
+  const auto topo = test::random_topology(GetParam(), 10, 0.4, 0.6);
+  const Graph& g = topo.graph;
+  const AllPairsPaths paths(g);
+  const std::vector<NodeId> members{1, 3, 5};
+  const MulticastTree t = kmb_steiner(g, paths, 0, members);
+  const double opt = optimal_steiner_cost(g, 0, members);
+  ASSERT_LT(opt, kUnreachable);
+  EXPECT_LE(t.tree_cost(g), 2.0 * opt + 1e-6);
+  EXPECT_GE(t.tree_cost(g), opt - 1e-6);
+}
+
+TEST_P(KmbProperty, NoWorseThanUnionOfLeastCostPaths) {
+  const auto topo = test::random_topology(GetParam(), 25);
+  const Graph& g = topo.graph;
+  const AllPairsPaths paths(g);
+  Rng rng(GetParam() * 77);
+  const auto sample = rng.sample_without_replacement(g.num_nodes() - 1, 6);
+  std::vector<NodeId> members;
+  for (int v : sample) members.push_back(v + 1);
+  const MulticastTree t = kmb_steiner(g, paths, 0, members);
+  double union_bound = 0.0;
+  for (NodeId m : members) union_bound += paths.lc_cost(0, m);
+  EXPECT_LE(t.tree_cost(g), union_bound + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KmbProperty,
+                         ::testing::Values(4, 8, 15, 16, 23, 42));
+
+}  // namespace
+}  // namespace scmp::graph

@@ -1,0 +1,211 @@
+#include "protocols/cbt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "helpers.hpp"
+
+namespace scmp::proto {
+namespace {
+
+constexpr GroupId kGroup = 1;
+
+class CbtFixture {
+ public:
+  explicit CbtFixture(graph::Graph graph, graph::NodeId core = 0)
+      : g_(std::move(graph)), net_(g_, queue_), igmp_(queue_, g_.num_nodes()),
+        proto_(net_, igmp_) {
+    proto_.set_core(kGroup, core);
+    net_.set_delivery_callback(
+        [this](const sim::Packet& pkt, graph::NodeId member, sim::SimTime) {
+          deliveries_[pkt.uid].push_back(member);
+        });
+  }
+
+  std::vector<graph::NodeId> send_and_collect(graph::NodeId source) {
+    const auto before = deliveries_.size();
+    proto_.send_data(source, kGroup);
+    queue_.run_all();
+    if (deliveries_.size() == before) return {};
+    auto got = deliveries_.rbegin()->second;
+    std::sort(got.begin(), got.end());
+    return got;
+  }
+
+  graph::Graph g_;
+  sim::EventQueue queue_;
+  sim::Network net_;
+  igmp::IgmpDomain igmp_;
+  Cbt proto_;
+  std::map<std::uint64_t, std::vector<graph::NodeId>> deliveries_;
+};
+
+TEST(Cbt, JoinBuildsPathToCore) {
+  CbtFixture f(test::line(4));
+  f.proto_.host_join(3, kGroup);
+  f.queue_.run_all();
+  EXPECT_TRUE(f.proto_.on_tree(3, kGroup));
+  EXPECT_TRUE(f.proto_.on_tree(2, kGroup));
+  EXPECT_TRUE(f.proto_.on_tree(1, kGroup));
+  EXPECT_EQ(f.proto_.upstream_of(3, kGroup), 2);
+  EXPECT_EQ(f.proto_.upstream_of(2, kGroup), 1);
+  EXPECT_EQ(f.proto_.upstream_of(1, kGroup), 0);
+  EXPECT_EQ(f.proto_.downstream_of(1, kGroup), (std::set<graph::NodeId>{2}));
+  EXPECT_EQ(f.proto_.downstream_of(0, kGroup), (std::set<graph::NodeId>{1}));
+}
+
+TEST(Cbt, SecondJoinGraftsAtExistingTree) {
+  graph::Graph g(5);
+  g.add_edge(0, 1, 1, 1);
+  g.add_edge(1, 2, 1, 1);
+  g.add_edge(1, 3, 1, 1);
+  g.add_edge(3, 4, 1, 1);
+  CbtFixture f(std::move(g));
+  f.proto_.host_join(2, kGroup);
+  f.queue_.run_all();
+  const auto before = f.net_.stats().protocol_link_crossings;
+  f.proto_.host_join(4, kGroup);
+  f.queue_.run_all();
+  // Join travels 4->3->1 (on tree) and the ACK returns 1->3->4: 4 crossings,
+  // never reaching the core.
+  EXPECT_EQ(f.net_.stats().protocol_link_crossings - before, 4u);
+  EXPECT_EQ(f.proto_.downstream_of(1, kGroup),
+            (std::set<graph::NodeId>{2, 3}));
+}
+
+TEST(Cbt, CoreAsMemberNeedsNoJoin) {
+  CbtFixture f(test::line(3));
+  f.proto_.host_join(0, kGroup);  // the core itself
+  f.queue_.run_all();
+  EXPECT_EQ(f.net_.stats().protocol_link_crossings, 0u);
+  EXPECT_TRUE(f.proto_.on_tree(0, kGroup));
+}
+
+TEST(Cbt, OnTreeSourceForwardsBidirectionally) {
+  CbtFixture f(test::line(5));
+  f.proto_.host_join(2, kGroup);
+  f.proto_.host_join(4, kGroup);
+  f.queue_.run_all();
+  // Member 4 sends: data flows up 4->3->2 (delivering at 2) and stops at the
+  // core; no encapsulation.
+  EXPECT_EQ(f.send_and_collect(4), (std::vector<graph::NodeId>{2, 4}));
+}
+
+TEST(Cbt, OffTreeSourceEncapsulatesToCore) {
+  CbtFixture f(test::line(5), /*core=*/2);
+  f.proto_.host_join(0, kGroup);
+  f.queue_.run_all();
+  // Source 4 is off the tree; data unicasts to core 2 then down to member 0.
+  EXPECT_EQ(f.send_and_collect(4), (std::vector<graph::NodeId>{0}));
+  EXPECT_EQ(f.net_.stats().data_link_crossings, 2u + 2u);
+}
+
+TEST(Cbt, QuitPrunesLeafChain) {
+  CbtFixture f(test::line(4));
+  f.proto_.host_join(3, kGroup);
+  f.queue_.run_all();
+  f.proto_.host_leave(3, kGroup);
+  f.queue_.run_all();
+  EXPECT_FALSE(f.proto_.on_tree(3, kGroup));
+  EXPECT_FALSE(f.proto_.on_tree(2, kGroup));
+  EXPECT_FALSE(f.proto_.on_tree(1, kGroup));
+}
+
+TEST(Cbt, QuitStopsAtBranchingRouter) {
+  graph::Graph g(5);
+  g.add_edge(0, 1, 1, 1);
+  g.add_edge(1, 2, 1, 1);
+  g.add_edge(1, 3, 1, 1);
+  g.add_edge(3, 4, 1, 1);
+  CbtFixture f(std::move(g));
+  f.proto_.host_join(2, kGroup);
+  f.proto_.host_join(4, kGroup);
+  f.queue_.run_all();
+  f.proto_.host_leave(4, kGroup);
+  f.queue_.run_all();
+  EXPECT_FALSE(f.proto_.on_tree(4, kGroup));
+  EXPECT_FALSE(f.proto_.on_tree(3, kGroup));
+  EXPECT_TRUE(f.proto_.on_tree(1, kGroup));  // still serves member 2
+  EXPECT_EQ(f.proto_.downstream_of(1, kGroup), (std::set<graph::NodeId>{2}));
+}
+
+TEST(Cbt, RelayMemberLeaveKeepsRelay) {
+  CbtFixture f(test::line(4));
+  f.proto_.host_join(2, kGroup);
+  f.proto_.host_join(3, kGroup);
+  f.queue_.run_all();
+  f.proto_.host_leave(2, kGroup);
+  f.queue_.run_all();
+  EXPECT_TRUE(f.proto_.on_tree(2, kGroup));  // still relays to 3
+  EXPECT_EQ(f.send_and_collect(0), (std::vector<graph::NodeId>{3}));
+}
+
+TEST(Cbt, DeliversExactlyOnceOnRandomTopology) {
+  const auto topo = test::random_topology(21, 30);
+  CbtFixture f(topo.graph);
+  Rng rng(22);
+  std::vector<graph::NodeId> members;
+  for (int v : rng.sample_without_replacement(topo.graph.num_nodes() - 1, 10))
+    members.push_back(v + 1);
+  for (graph::NodeId m : members) f.proto_.host_join(m, kGroup);
+  f.queue_.run_all();
+  std::sort(members.begin(), members.end());
+  EXPECT_EQ(f.send_and_collect(0), members);
+  // And from an arbitrary member as source.
+  EXPECT_EQ(f.send_and_collect(members[0]), members);
+}
+
+TEST(Cbt, DataBeforeAnyJoinIsDropped) {
+  CbtFixture f(test::line(3));
+  EXPECT_TRUE(f.send_and_collect(2).empty());
+}
+
+TEST(Cbt, CoreFailureBlackholesEncapsulatedData) {
+  CbtFixture f(test::line(5), /*core=*/2);
+  f.proto_.host_join(0, kGroup);
+  f.queue_.run_all();
+  EXPECT_EQ(f.send_and_collect(4), (std::vector<graph::NodeId>{0}));
+
+  f.proto_.fail_core(kGroup);
+  EXPECT_TRUE(f.proto_.core_failed(kGroup));
+  // Off-tree source 4 encapsulates to the dead core: nothing arrives.
+  EXPECT_TRUE(f.send_and_collect(4).empty());
+}
+
+TEST(Cbt, CoreFailureBlocksNewJoins) {
+  CbtFixture f(test::line(5), /*core=*/0);
+  f.proto_.fail_core(kGroup);
+  f.proto_.host_join(3, kGroup);
+  f.queue_.run_all();
+  // The join reached the dead core and was never acknowledged.
+  EXPECT_FALSE(f.proto_.on_tree(3, kGroup));
+  EXPECT_TRUE(f.send_and_collect(0).empty());
+}
+
+TEST(Cbt, OnTreeTrafficBelowTheCoreSurvives) {
+  // The paper's point is the *core* failing; branches that do not cross it
+  // keep working for on-tree sources.
+  CbtFixture f(test::line(5), /*core=*/0);
+  f.proto_.host_join(2, kGroup);
+  f.proto_.host_join(4, kGroup);
+  f.queue_.run_all();
+  f.proto_.fail_core(kGroup);
+  // Member 4's packets travel up the shared branch through 3 and 2 without
+  // touching the dead core.
+  EXPECT_EQ(f.send_and_collect(4), (std::vector<graph::NodeId>{2, 4}));
+}
+
+TEST(Cbt, ConcurrentJoinsConvergeToOneTree) {
+  // Two joins racing through a shared path must not corrupt the tree.
+  CbtFixture f(test::line(5));
+  f.proto_.host_join(3, kGroup);
+  f.proto_.host_join(4, kGroup);  // same instant: both traverse 1 and 2
+  f.queue_.run_all();
+  EXPECT_EQ(f.proto_.upstream_of(4, kGroup), 3);
+  EXPECT_EQ(f.proto_.upstream_of(3, kGroup), 2);
+  EXPECT_EQ(f.send_and_collect(0), (std::vector<graph::NodeId>{3, 4}));
+}
+
+}  // namespace
+}  // namespace scmp::proto

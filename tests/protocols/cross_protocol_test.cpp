@@ -1,0 +1,176 @@
+// Cross-protocol conformance: whatever the routing machinery, a multicast
+// protocol must deliver every data packet to every member router exactly
+// once, and to nobody else. Parameterised over all four protocols, several
+// topologies and seeds.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/experiment.hpp"
+#include "helpers.hpp"
+#include "topo/arpanet.hpp"
+
+namespace scmp::core {
+namespace {
+
+struct Case {
+  ProtocolKind kind;
+  std::uint64_t seed;
+  int members;
+  bool member_source;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = to_string(info.param.kind);
+  name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+  return name + "_s" + std::to_string(info.param.seed) + "_m" +
+         std::to_string(info.param.members) +
+         (info.param.member_source ? "_memsrc" : "_extsrc");
+}
+
+class DeliveryConformance : public ::testing::TestWithParam<Case> {};
+
+TEST_P(DeliveryConformance, ExactlyOnceToAllMembers) {
+  const Case& c = GetParam();
+  const auto topo = test::random_topology(c.seed, 30);
+  const graph::Graph& g = topo.graph;
+
+  ScenarioConfig cfg;
+  cfg.mrouter = 0;
+  Rng rng(c.seed * 97 + 13);
+  for (int v : rng.sample_without_replacement(g.num_nodes() - 1, c.members))
+    cfg.members.push_back(v + 1);
+  cfg.source = c.member_source
+                   ? cfg.members.front()
+                   : [&] {
+                       // deterministic non-member, non-root source
+                       for (graph::NodeId v = 1; v < g.num_nodes(); ++v) {
+                         if (std::find(cfg.members.begin(), cfg.members.end(),
+                                       v) == cfg.members.end())
+                           return v;
+                       }
+                       return graph::NodeId{1};
+                     }();
+  cfg.data_interval = 0.0;  // we drive data sends manually
+
+  ScenarioHarness h(c.kind, g, cfg);
+  // Per-packet delivery sets.
+  std::map<std::uint64_t, std::multiset<graph::NodeId>> delivered;
+  h.network().set_delivery_callback(
+      [&](const sim::Packet& pkt, graph::NodeId member, sim::SimTime) {
+        delivered[pkt.uid].insert(member);
+      });
+
+  for (graph::NodeId m : cfg.members) h.protocol().host_join(m, cfg.group);
+  h.queue().run_all();
+
+  std::set<graph::NodeId> expected(cfg.members.begin(), cfg.members.end());
+  for (int round = 0; round < 3; ++round) {
+    delivered.clear();
+    h.protocol().send_data(cfg.source, cfg.group);
+    h.queue().run_all();
+    ASSERT_EQ(delivered.size(), 1u) << "round " << round;
+    const auto& got = delivered.begin()->second;
+    // Exactly once per member.
+    std::multiset<graph::NodeId> want(expected.begin(), expected.end());
+    EXPECT_EQ(got, want) << to_string(c.kind) << " round " << round;
+  }
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (const auto kind :
+       {ProtocolKind::kScmp, ProtocolKind::kDvmrp, ProtocolKind::kMospf,
+        ProtocolKind::kCbt, ProtocolKind::kPimSm}) {
+    for (const std::uint64_t seed : {31ull, 62ull, 93ull, 124ull, 155ull}) {
+      for (const int members : {4, 12}) {
+        cases.push_back({kind, seed, members, false});
+        cases.push_back({kind, seed, members, true});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, DeliveryConformance,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+class ChurnConformance : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ChurnConformance, DeliveriesTrackMembershipUnderChurn) {
+  const Case& c = GetParam();
+  const auto topo = test::random_topology(c.seed + 500, 25);
+  const graph::Graph& g = topo.graph;
+
+  ScenarioConfig cfg;
+  cfg.mrouter = 0;
+  cfg.data_interval = 0.0;
+  ScenarioHarness h(c.kind, g, cfg);
+  std::map<std::uint64_t, std::multiset<graph::NodeId>> delivered;
+  h.network().set_delivery_callback(
+      [&](const sim::Packet& pkt, graph::NodeId member, sim::SimTime) {
+        delivered[pkt.uid].insert(member);
+      });
+
+  Rng rng(c.seed * 17 + 1);
+  std::set<graph::NodeId> joined;
+  for (int step = 0; step < 30; ++step) {
+    const auto v =
+        static_cast<graph::NodeId>(rng.uniform_int(1, g.num_nodes() - 1));
+    if (joined.contains(v)) {
+      h.protocol().host_leave(v, cfg.group);
+      joined.erase(v);
+    } else {
+      h.protocol().host_join(v, cfg.group);
+      joined.insert(v);
+    }
+    h.queue().run_all();
+    if (joined.empty()) continue;
+
+    delivered.clear();
+    h.protocol().send_data(0, cfg.group);
+    h.queue().run_all();
+    std::multiset<graph::NodeId> want(joined.begin(), joined.end());
+    ASSERT_EQ(delivered.size(), 1u);
+    ASSERT_EQ(delivered.begin()->second, want)
+        << to_string(c.kind) << " step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ChurnConformance,
+    ::testing::Values(Case{ProtocolKind::kScmp, 1, 0, false},
+                      Case{ProtocolKind::kDvmrp, 2, 0, false},
+                      Case{ProtocolKind::kMospf, 3, 0, false},
+                      Case{ProtocolKind::kCbt, 4, 0, false},
+                      Case{ProtocolKind::kPimSm, 5, 0, false}),
+    case_name);
+
+TEST(CrossProtocol, ArpanetAllProtocolsDeliver) {
+  Rng trng(7);
+  const auto topo = topo::arpanet(trng);
+  for (const auto kind :
+       {ProtocolKind::kScmp, ProtocolKind::kDvmrp, ProtocolKind::kMospf,
+        ProtocolKind::kCbt, ProtocolKind::kPimSm}) {
+    ScenarioConfig cfg;
+    cfg.mrouter = 0;
+    cfg.members = {3, 8, 15, 19};
+    cfg.data_interval = 0.0;
+    ScenarioHarness h(kind, topo.graph, cfg);
+    std::multiset<graph::NodeId> got;
+    h.network().set_delivery_callback(
+        [&](const sim::Packet&, graph::NodeId member, sim::SimTime) {
+          got.insert(member);
+        });
+    for (graph::NodeId m : cfg.members) h.protocol().host_join(m, cfg.group);
+    h.queue().run_all();
+    h.protocol().send_data(10, cfg.group);
+    h.queue().run_all();
+    EXPECT_EQ(got, (std::multiset<graph::NodeId>{3, 8, 15, 19}))
+        << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace scmp::core

@@ -1,0 +1,164 @@
+#include "protocols/dvmrp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "helpers.hpp"
+
+namespace scmp::proto {
+namespace {
+
+constexpr GroupId kGroup = 1;
+
+class DvmrpFixture {
+ public:
+  explicit DvmrpFixture(graph::Graph graph, double prune_lifetime = 8.0)
+      : g_(std::move(graph)), net_(g_, queue_), igmp_(queue_, g_.num_nodes()),
+        proto_(net_, igmp_, prune_lifetime) {
+    net_.set_delivery_callback(
+        [this](const sim::Packet& pkt, graph::NodeId member, sim::SimTime) {
+          deliveries_[pkt.uid].push_back(member);
+        });
+  }
+
+  std::vector<graph::NodeId> send_and_collect(graph::NodeId source) {
+    const auto uid_before = deliveries_.size();
+    proto_.send_data(source, kGroup);
+    queue_.run_all();
+    if (deliveries_.size() == uid_before) return {};
+    auto got = deliveries_.rbegin()->second;
+    std::sort(got.begin(), got.end());
+    return got;
+  }
+
+  graph::Graph g_;
+  sim::EventQueue queue_;
+  sim::Network net_;
+  igmp::IgmpDomain igmp_;
+  Dvmrp proto_;
+  std::map<std::uint64_t, std::vector<graph::NodeId>> deliveries_;
+};
+
+TEST(Dvmrp, FloodReachesAllMembers) {
+  DvmrpFixture f(test::paper_fig5_topology());
+  for (graph::NodeId m : {3, 4, 5}) f.proto_.host_join(m, kGroup);
+  f.queue_.run_all();
+  EXPECT_EQ(f.send_and_collect(0), (std::vector<graph::NodeId>{3, 4, 5}));
+}
+
+TEST(Dvmrp, DeliveryIsExactlyOncePerMember) {
+  const auto topo = test::random_topology(3, 25);
+  DvmrpFixture f(topo.graph);
+  Rng rng(4);
+  std::vector<graph::NodeId> members;
+  for (int v : rng.sample_without_replacement(topo.graph.num_nodes() - 1, 8))
+    members.push_back(v + 1);
+  for (graph::NodeId m : members) f.proto_.host_join(m, kGroup);
+  f.queue_.run_all();
+  std::sort(members.begin(), members.end());
+  EXPECT_EQ(f.send_and_collect(0), members);  // sorted & unique
+}
+
+TEST(Dvmrp, FirstPacketFloodsEverywhere) {
+  // Truncated-broadcast: the first packet crosses every RPF-tree link, far
+  // more than the member count requires.
+  DvmrpFixture f(test::line(6));
+  f.proto_.host_join(1, kGroup);
+  f.queue_.run_all();
+  f.send_and_collect(0);
+  // The flood runs down the whole line (5 links) even though the only member
+  // sits one hop away; prunes then come back.
+  EXPECT_GE(f.net_.stats().data_link_crossings, 5u);
+  EXPECT_GE(f.net_.stats().protocol_link_crossings, 1u);  // prunes
+}
+
+TEST(Dvmrp, PrunesStopSubsequentFlooding) {
+  DvmrpFixture f(test::line(6), /*prune_lifetime=*/1000.0);
+  f.proto_.host_join(1, kGroup);
+  f.queue_.run_all();
+  f.send_and_collect(0);
+  const auto after_first = f.net_.stats().data_link_crossings;
+  f.send_and_collect(0);
+  const auto second_packet = f.net_.stats().data_link_crossings - after_first;
+  // After pruning, the second packet only travels toward the member.
+  EXPECT_LT(second_packet, after_first);
+  EXPECT_LE(second_packet, 2u);
+  EXPECT_TRUE(f.proto_.prune_active(5, kGroup, 0));
+}
+
+TEST(Dvmrp, PruneExpiryCausesReflood) {
+  DvmrpFixture f(test::line(6), /*prune_lifetime=*/0.5);
+  f.proto_.host_join(1, kGroup);
+  f.queue_.run_all();
+  f.send_and_collect(0);
+  const auto after_first = f.net_.stats().data_link_crossings;
+  // Wait past the prune lifetime, then send again: the flood repeats.
+  f.queue_.run_until(f.queue_.now() + 1.0);
+  f.send_and_collect(0);
+  const auto second_packet = f.net_.stats().data_link_crossings - after_first;
+  EXPECT_GE(second_packet, 5u);
+}
+
+TEST(Dvmrp, GraftRestoresPrunedBranch) {
+  DvmrpFixture f(test::line(6), /*prune_lifetime=*/1000.0);
+  f.proto_.host_join(1, kGroup);
+  f.queue_.run_all();
+  f.send_and_collect(0);  // prunes the tail of the line
+  ASSERT_TRUE(f.proto_.prune_active(5, kGroup, 0));
+  f.proto_.host_join(5, kGroup);  // join below the pruned branch
+  f.queue_.run_all();
+  EXPECT_FALSE(f.proto_.prune_active(5, kGroup, 0));
+  EXPECT_EQ(f.send_and_collect(0), (std::vector<graph::NodeId>{1, 5}));
+}
+
+TEST(Dvmrp, GraftCascadesUpstream) {
+  DvmrpFixture f(test::line(6), /*prune_lifetime=*/1000.0);
+  f.proto_.host_join(1, kGroup);
+  f.queue_.run_all();
+  f.send_and_collect(0);
+  // Intermediate routers 3 and 4 also pruned (cascade); the join at 5 must
+  // graft the whole chain back.
+  ASSERT_TRUE(f.proto_.prune_active(4, kGroup, 0));
+  f.proto_.host_join(5, kGroup);
+  f.queue_.run_all();
+  EXPECT_FALSE(f.proto_.prune_active(4, kGroup, 0));
+  EXPECT_FALSE(f.proto_.prune_active(3, kGroup, 0));
+}
+
+TEST(Dvmrp, SourceMayBeMember) {
+  DvmrpFixture f(test::line(4));
+  f.proto_.host_join(0, kGroup);
+  f.proto_.host_join(3, kGroup);
+  f.queue_.run_all();
+  EXPECT_EQ(f.send_and_collect(0), (std::vector<graph::NodeId>{0, 3}));
+}
+
+TEST(Dvmrp, MemberlessDomainPrunesCompletely) {
+  DvmrpFixture f(test::line(4), /*prune_lifetime=*/1000.0);
+  f.send_and_collect(0);
+  f.send_and_collect(0);
+  // Second send is suppressed right at the source's neighbour.
+  EXPECT_TRUE(f.proto_.prune_active(1, kGroup, 0));
+}
+
+class DvmrpSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DvmrpSeeds, SteadyStateDeliversToExactlyMembers) {
+  const auto topo = test::random_topology(GetParam(), 30);
+  DvmrpFixture f(topo.graph, /*prune_lifetime=*/1000.0);
+  Rng rng(GetParam() + 5);
+  std::vector<graph::NodeId> members;
+  for (int v : rng.sample_without_replacement(topo.graph.num_nodes() - 1, 6))
+    members.push_back(v + 1);
+  for (graph::NodeId m : members) f.proto_.host_join(m, kGroup);
+  f.queue_.run_all();
+  std::sort(members.begin(), members.end());
+  for (int round = 0; round < 3; ++round)
+    EXPECT_EQ(f.send_and_collect(0), members) << "round " << round;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DvmrpSeeds, ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace scmp::proto

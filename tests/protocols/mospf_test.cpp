@@ -1,0 +1,158 @@
+#include "protocols/mospf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/dijkstra.hpp"
+#include "helpers.hpp"
+
+namespace scmp::proto {
+namespace {
+
+constexpr GroupId kGroup = 1;
+
+class MospfFixture {
+ public:
+  explicit MospfFixture(graph::Graph graph)
+      : g_(std::move(graph)), net_(g_, queue_), igmp_(queue_, g_.num_nodes()),
+        proto_(net_, igmp_) {
+    net_.set_delivery_callback(
+        [this](const sim::Packet& pkt, graph::NodeId member, sim::SimTime) {
+          deliveries_[pkt.uid].push_back(member);
+        });
+  }
+
+  std::vector<graph::NodeId> send_and_collect(graph::NodeId source) {
+    const auto before = deliveries_.size();
+    proto_.send_data(source, kGroup);
+    queue_.run_all();
+    if (deliveries_.size() == before) return {};
+    auto got = deliveries_.rbegin()->second;
+    std::sort(got.begin(), got.end());
+    return got;
+  }
+
+  graph::Graph g_;
+  sim::EventQueue queue_;
+  sim::Network net_;
+  igmp::IgmpDomain igmp_;
+  Mospf proto_;
+  std::map<std::uint64_t, std::vector<graph::NodeId>> deliveries_;
+};
+
+TEST(Mospf, LsaFloodConvergesAllViews) {
+  const auto topo = test::random_topology(8, 20);
+  MospfFixture f(topo.graph);
+  f.proto_.host_join(3, kGroup);
+  f.proto_.host_join(7, kGroup);
+  f.queue_.run_all();
+  for (graph::NodeId v = 0; v < topo.graph.num_nodes(); ++v) {
+    EXPECT_EQ(f.proto_.view_of(v, kGroup),
+              (std::set<graph::NodeId>{3, 7}))
+        << "router " << v;
+  }
+}
+
+TEST(Mospf, LeaveLsaRemovesMemberFromViews) {
+  MospfFixture f(test::line(5));
+  f.proto_.host_join(3, kGroup);
+  f.proto_.host_join(4, kGroup);
+  f.queue_.run_all();
+  f.proto_.host_leave(3, kGroup);
+  f.queue_.run_all();
+  for (graph::NodeId v = 0; v < 5; ++v)
+    EXPECT_EQ(f.proto_.view_of(v, kGroup), (std::set<graph::NodeId>{4}));
+}
+
+TEST(Mospf, EveryMembershipChangeFloodsDomainWide) {
+  MospfFixture f(test::line(5));
+  const auto before = f.net_.stats().protocol_link_crossings;
+  f.proto_.host_join(2, kGroup);
+  f.queue_.run_all();
+  // Flooding crosses each of the 4 links at least once.
+  EXPECT_GE(f.net_.stats().protocol_link_crossings - before, 4u);
+}
+
+TEST(Mospf, DataFollowsShortestPaths) {
+  MospfFixture f(test::diamond());
+  f.proto_.host_join(3, kGroup);
+  f.queue_.run_all();
+  EXPECT_EQ(f.send_and_collect(0), (std::vector<graph::NodeId>{3}));
+  // Delay-shortest route 0-1-3 carries the data: exactly 2 data crossings.
+  EXPECT_EQ(f.net_.stats().data_link_crossings, 2u);
+}
+
+TEST(Mospf, DataPrunedToMemberSubtrees) {
+  MospfFixture f(test::line(6));
+  f.proto_.host_join(2, kGroup);
+  f.queue_.run_all();
+  f.send_and_collect(0);
+  // No data flows past the last member (links 3,4,5 unused).
+  EXPECT_EQ(f.net_.stats().data_link_crossings, 2u);
+}
+
+TEST(Mospf, DeliversExactlyOnce) {
+  const auto topo = test::random_topology(12, 30);
+  MospfFixture f(topo.graph);
+  Rng rng(13);
+  std::vector<graph::NodeId> members;
+  for (int v : rng.sample_without_replacement(topo.graph.num_nodes() - 1, 9))
+    members.push_back(v + 1);
+  for (graph::NodeId m : members) f.proto_.host_join(m, kGroup);
+  f.queue_.run_all();
+  std::sort(members.begin(), members.end());
+  EXPECT_EQ(f.send_and_collect(0), members);
+}
+
+TEST(Mospf, MemberDelaysAreUnicastOptimal) {
+  // SPT-based forwarding delivers each packet along the shortest-delay path,
+  // the paper's explanation for Fig. 9's delay ranking.
+  const auto topo = test::random_topology(14, 25);
+  MospfFixture f(topo.graph);
+  f.proto_.host_join(5, kGroup);
+  f.queue_.run_all();
+  std::map<graph::NodeId, double> arrival;
+  f.net_.set_delivery_callback(
+      [&](const sim::Packet&, graph::NodeId member, sim::SimTime at) {
+        arrival[member] = at;
+      });
+  const double sent_at = f.queue_.now();
+  f.proto_.send_data(0, kGroup);
+  f.queue_.run_all();
+  const graph::ShortestPaths sp =
+      dijkstra(topo.graph, 0, graph::Metric::kDelay);
+  ASSERT_TRUE(arrival.contains(5));
+  // Propagation delay scaled by 1e-6, plus per-hop transmission (8 us each).
+  const double expected = sp.distance(5) * 1e-6;
+  const auto hops = static_cast<double>(sp.path_to(5).size() - 1);
+  EXPECT_NEAR(arrival[5] - sent_at, expected + hops * 8e-6, 1e-9);
+}
+
+TEST(Mospf, SourceAlsoMemberDeliversLocally) {
+  MospfFixture f(test::line(3));
+  f.proto_.host_join(0, kGroup);
+  f.proto_.host_join(2, kGroup);
+  f.queue_.run_all();
+  EXPECT_EQ(f.send_and_collect(0), (std::vector<graph::NodeId>{0, 2}));
+}
+
+TEST(Mospf, DuplicateLsasDropped) {
+  // On a cycle the same LSA reaches routers via two paths; the dedup must
+  // keep views correct and terminate flooding.
+  graph::Graph g(4);
+  g.add_edge(0, 1, 1, 1);
+  g.add_edge(1, 2, 1, 1);
+  g.add_edge(2, 3, 1, 1);
+  g.add_edge(3, 0, 1, 1);
+  MospfFixture f(std::move(g));
+  f.proto_.host_join(0, kGroup);
+  f.queue_.run_all();
+  for (graph::NodeId v = 0; v < 4; ++v)
+    EXPECT_EQ(f.proto_.view_of(v, kGroup), (std::set<graph::NodeId>{0}));
+  // Each link is crossed at most twice (once per direction).
+  EXPECT_LE(f.net_.stats().protocol_link_crossings, 8u);
+}
+
+}  // namespace
+}  // namespace scmp::proto

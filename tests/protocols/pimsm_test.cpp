@@ -1,0 +1,216 @@
+#include "protocols/pimsm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "helpers.hpp"
+
+namespace scmp::proto {
+namespace {
+
+constexpr GroupId kGroup = 1;
+
+class PimFixture {
+ public:
+  explicit PimFixture(graph::Graph graph, graph::NodeId rp = 0,
+                      bool switchover = true)
+      : g_(std::move(graph)), net_(g_, queue_), igmp_(queue_, g_.num_nodes()),
+        proto_(net_, igmp_, switchover) {
+    proto_.set_rp(kGroup, rp);
+    net_.set_delivery_callback(
+        [this](const sim::Packet& pkt, graph::NodeId member, sim::SimTime) {
+          deliveries_[pkt.uid].push_back(member);
+        });
+  }
+
+  std::vector<graph::NodeId> send_and_collect(graph::NodeId source) {
+    const auto before = deliveries_.size();
+    proto_.send_data(source, kGroup);
+    queue_.run_all();
+    if (deliveries_.size() == before) return {};
+    auto got = deliveries_.rbegin()->second;
+    std::sort(got.begin(), got.end());
+    return got;
+  }
+
+  graph::Graph g_;
+  sim::EventQueue queue_;
+  sim::Network net_;
+  igmp::IgmpDomain igmp_;
+  PimSm proto_;
+  std::map<std::uint64_t, std::vector<graph::NodeId>> deliveries_;
+};
+
+TEST(PimSm, StarJoinBuildsSharedTreeState) {
+  PimFixture f(test::line(4));
+  f.proto_.host_join(3, kGroup);
+  f.queue_.run_all();
+  EXPECT_TRUE(f.proto_.on_rp_tree(3, kGroup));
+  EXPECT_TRUE(f.proto_.on_rp_tree(2, kGroup));
+  EXPECT_TRUE(f.proto_.on_rp_tree(1, kGroup));
+  EXPECT_TRUE(f.proto_.on_rp_tree(0, kGroup));  // the RP itself
+}
+
+TEST(PimSm, FirstPacketArrivesViaRp) {
+  PimFixture f(test::line(5), /*rp=*/2);
+  f.proto_.host_join(0, kGroup);
+  f.queue_.run_all();
+  // Source 4 registers to RP 2; data flows 4=>2 encapsulated, then 2->1->0.
+  EXPECT_EQ(f.send_and_collect(4), (std::vector<graph::NodeId>{0}));
+  EXPECT_EQ(f.net_.stats().data_link_crossings, 2u + 2u);
+}
+
+TEST(PimSm, SwitchoverEstablishesSourceTree) {
+  PimFixture f(test::line(5), /*rp=*/2);
+  f.proto_.host_join(0, kGroup);
+  f.queue_.run_all();
+  f.send_and_collect(4);  // triggers the (S,G) join at member 0
+  EXPECT_TRUE(f.proto_.has_spt_state(0, kGroup, 4));
+  EXPECT_TRUE(f.proto_.has_spt_state(1, kGroup, 4));  // transit on 0's SPT
+  EXPECT_TRUE(f.proto_.has_spt_state(4, kGroup, 4));  // the source
+}
+
+TEST(PimSm, AfterSwitchoverDeliveryIsExactlyOnce) {
+  PimFixture f(test::line(5), /*rp=*/2);
+  f.proto_.host_join(0, kGroup);
+  f.queue_.run_all();
+  f.send_and_collect(4);
+  for (int round = 0; round < 3; ++round)
+    EXPECT_EQ(f.send_and_collect(4), (std::vector<graph::NodeId>{0}))
+        << "round " << round;
+}
+
+TEST(PimSm, SwitchoverShortensDeliveryPath) {
+  // Member and source adjacent, RP far away: after switchover the data path
+  // collapses from source=>RP->member to source->member.
+  PimFixture f(test::line(6), /*rp=*/0);
+  f.proto_.host_join(4, kGroup);
+  f.queue_.run_all();
+  f.send_and_collect(5);  // first packet via RP at node 0
+  const auto before = f.net_.stats().data_link_crossings;
+  f.send_and_collect(5);
+  const auto second = f.net_.stats().data_link_crossings - before;
+  // Native 5->4 delivery is one crossing. Register-stop is not modelled, so
+  // the register still unicasts 5=>0 (5 crossings) and the shared-tree copy
+  // travels 0->1->2->3 before the one-hop (S,G,rpt) prune at router 3 stops
+  // it (3 crossings): 9 total, versus 10 for the first, pre-switchover
+  // packet (which also crossed 3->4).
+  EXPECT_EQ(second, 1u + 5u + 3u);
+  EXPECT_TRUE(f.proto_.has_spt_state(4, kGroup, 5));
+}
+
+TEST(PimSm, WithoutSwitchoverStaysOnRpTree) {
+  PimFixture f(test::line(6), /*rp=*/0, /*switchover=*/false);
+  f.proto_.host_join(4, kGroup);
+  f.queue_.run_all();
+  f.send_and_collect(5);
+  f.send_and_collect(5);
+  EXPECT_FALSE(f.proto_.has_spt_state(4, kGroup, 5));
+  EXPECT_EQ(f.send_and_collect(5), (std::vector<graph::NodeId>{4}));
+}
+
+TEST(PimSm, MultipleMembersAllDeliver) {
+  const auto topo = test::random_topology(41, 30);
+  PimFixture f(topo.graph);
+  Rng rng(42);
+  std::vector<graph::NodeId> members;
+  for (int v : rng.sample_without_replacement(topo.graph.num_nodes() - 1, 10))
+    members.push_back(v + 1);
+  for (graph::NodeId m : members) f.proto_.host_join(m, kGroup);
+  f.queue_.run_all();
+  std::sort(members.begin(), members.end());
+  // First packet (via RP), then three post-switchover packets.
+  for (int round = 0; round < 4; ++round)
+    EXPECT_EQ(f.send_and_collect(members[0]), members) << "round " << round;
+}
+
+TEST(PimSm, LeaveprunesSharedAndSourceTrees) {
+  PimFixture f(test::line(5), /*rp=*/0);
+  f.proto_.host_join(4, kGroup);
+  f.queue_.run_all();
+  f.send_and_collect(3);  // switches member 4 to source 3's SPT
+  ASSERT_TRUE(f.proto_.has_spt_state(4, kGroup, 3));
+  f.proto_.host_leave(4, kGroup);
+  f.queue_.run_all();
+  EXPECT_FALSE(f.proto_.on_rp_tree(4, kGroup));
+  EXPECT_FALSE(f.proto_.has_spt_state(4, kGroup, 3));
+  EXPECT_FALSE(f.proto_.on_rp_tree(1, kGroup));  // chain pruned
+  EXPECT_TRUE(f.send_and_collect(3).empty());
+}
+
+TEST(PimSm, RejoinAfterLeaveWorks) {
+  PimFixture f(test::line(5), /*rp=*/0);
+  f.proto_.host_join(4, kGroup);
+  f.queue_.run_all();
+  f.send_and_collect(3);
+  f.proto_.host_leave(4, kGroup);
+  f.queue_.run_all();
+  f.proto_.host_join(4, kGroup);
+  f.queue_.run_all();
+  EXPECT_EQ(f.send_and_collect(3), (std::vector<graph::NodeId>{4}));
+}
+
+TEST(PimSm, SourceIsAlsoMember) {
+  PimFixture f(test::line(4), /*rp=*/0);
+  f.proto_.host_join(1, kGroup);
+  f.proto_.host_join(3, kGroup);
+  f.queue_.run_all();
+  for (int round = 0; round < 3; ++round)
+    EXPECT_EQ(f.send_and_collect(3), (std::vector<graph::NodeId>{1, 3}))
+        << "round " << round;
+}
+
+TEST(PimSm, RpAsMember) {
+  PimFixture f(test::line(4), /*rp=*/0);
+  f.proto_.host_join(0, kGroup);
+  f.queue_.run_all();
+  for (int round = 0; round < 2; ++round)
+    EXPECT_EQ(f.send_and_collect(2), (std::vector<graph::NodeId>{0}));
+}
+
+TEST(PimSm, RpAsSource) {
+  PimFixture f(test::line(4), /*rp=*/0);
+  f.proto_.host_join(3, kGroup);
+  f.queue_.run_all();
+  for (int round = 0; round < 2; ++round)
+    EXPECT_EQ(f.send_and_collect(0), (std::vector<graph::NodeId>{3}));
+}
+
+TEST(PimSm, NonLeafSwitchedMemberStillFeedsChildren) {
+  // Member 2 sits on the shared-tree path of member 4: after 2 switches to
+  // the SPT it must keep forwarding shared-tree copies toward 4.
+  PimFixture f(test::line(5), /*rp=*/0);
+  f.proto_.host_join(2, kGroup);
+  f.proto_.host_join(4, kGroup);
+  f.queue_.run_all();
+  for (int round = 0; round < 4; ++round)
+    EXPECT_EQ(f.send_and_collect(3), (std::vector<graph::NodeId>{2, 4}))
+        << "round " << round;
+}
+
+TEST(PimSm, ChurnStaysExactlyOnce) {
+  const auto topo = test::random_topology(43, 25);
+  PimFixture f(topo.graph);
+  Rng rng(44);
+  std::set<graph::NodeId> joined;
+  for (int step = 0; step < 40; ++step) {
+    const auto v = static_cast<graph::NodeId>(
+        rng.uniform_int(1, topo.graph.num_nodes() - 1));
+    if (joined.contains(v)) {
+      f.proto_.host_leave(v, kGroup);
+      joined.erase(v);
+    } else {
+      f.proto_.host_join(v, kGroup);
+      joined.insert(v);
+    }
+    f.queue_.run_all();
+    if (joined.empty()) continue;
+    const auto got = f.send_and_collect(5);
+    ASSERT_EQ(got, std::vector(joined.begin(), joined.end()))
+        << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace scmp::proto

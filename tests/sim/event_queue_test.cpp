@@ -1,0 +1,105 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace scmp::sim {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtZero) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  EXPECT_FALSE(q.run_next());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesExecuteInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    q.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule_at(2.0, [&] {
+    q.schedule_in(1.5, [&] { fired_at = q.now(); });
+  });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 3.5);
+}
+
+TEST(EventQueue, HandlersCanScheduleMore) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&]() {
+    if (++count < 5) q.schedule_in(1.0, chain);
+  };
+  q.schedule_at(0.0, chain);
+  q.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon) {
+  EventQueue q;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0})
+    q.schedule_at(t, [&fired, &q] { fired.push_back(q.now()); });
+  q.run_until(2.5);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.now(), 2.5);
+  EXPECT_EQ(q.pending(), 2u);
+}
+
+TEST(EventQueue, RunUntilIncludesBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(2.0, [&] { ++fired; });
+  q.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, RunAllWithLimit) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) q.schedule_at(i, [] {});
+  EXPECT_EQ(q.run_all(4), 4u);
+  EXPECT_EQ(q.pending(), 6u);
+}
+
+TEST(EventQueueDeath, RejectsPastScheduling) {
+  EventQueue q;
+  q.schedule_at(5.0, [] {});
+  q.run_all();
+  EXPECT_DEATH(q.schedule_at(1.0, [] {}), "Precondition");
+}
+
+TEST(EventQueue, ManyEventsStressOrder) {
+  EventQueue q;
+  std::vector<double> fired;
+  for (int i = 999; i >= 0; --i)
+    q.schedule_at(static_cast<double>(i % 100), [&fired, &q] {
+      fired.push_back(q.now());
+    });
+  q.run_all();
+  for (std::size_t i = 1; i < fired.size(); ++i)
+    EXPECT_LE(fired[i - 1], fired[i]);
+}
+
+}  // namespace
+}  // namespace scmp::sim

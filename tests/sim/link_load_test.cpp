@@ -1,0 +1,119 @@
+#include "sim/link_load.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace scmp::sim {
+namespace {
+
+struct NullAgent final : RouterAgent {
+  void handle(const Packet&, graph::NodeId) override {}
+};
+
+class LinkLoadTest : public ::testing::Test {
+ protected:
+  LinkLoadTest() : g_(test::line(4)), net_(g_, queue_) {
+    for (graph::NodeId v = 0; v < g_.num_nodes(); ++v) net_.attach(v, &agent_);
+  }
+  graph::Graph g_;
+  EventQueue queue_;
+  Network net_;
+  NullAgent agent_;
+};
+
+TEST_F(LinkLoadTest, IdleNetworkHasZeroLoads) {
+  EXPECT_EQ(max_link_load(net_), 0u);
+  for (const auto& l : link_loads(net_)) EXPECT_EQ(l.bytes, 0u);
+  EXPECT_EQ(link_loads(net_).size(), 3u);  // one entry per undirected link
+}
+
+TEST_F(LinkLoadTest, BytesAccumulatePerLink) {
+  Packet p;
+  p.size_bytes = 100;
+  net_.send_link(0, 1, p);
+  net_.send_link(1, 0, p);  // reverse direction counts toward the same link
+  net_.send_link(1, 2, p);
+  queue_.run_all();
+  EXPECT_EQ(net_.bytes_on_link(0, 1), 200u);
+  EXPECT_EQ(net_.bytes_on_link(1, 0), 200u);  // symmetric accessor
+  EXPECT_EQ(net_.bytes_on_link(1, 2), 100u);
+  EXPECT_EQ(net_.bytes_on_link(2, 3), 0u);
+  EXPECT_EQ(max_link_load(net_), 200u);
+}
+
+TEST_F(LinkLoadTest, LoadsSortedDescending) {
+  Packet p;
+  p.size_bytes = 50;
+  net_.send_link(2, 3, p);
+  net_.send_link(2, 3, p);
+  net_.send_link(0, 1, p);
+  queue_.run_all();
+  const auto loads = link_loads(net_);
+  EXPECT_EQ(loads[0].u, 2);
+  EXPECT_EQ(loads[0].v, 3);
+  EXPECT_EQ(loads[0].bytes, 100u);
+  EXPECT_EQ(loads[1].bytes, 50u);
+  EXPECT_EQ(loads[2].bytes, 0u);
+}
+
+TEST_F(LinkLoadTest, UnicastLoadsEveryHop) {
+  Packet p;
+  p.size_bytes = 10;
+  p.dst = 3;
+  net_.send_unicast(0, p);
+  queue_.run_all();
+  EXPECT_EQ(net_.bytes_on_link(0, 1), 10u);
+  EXPECT_EQ(net_.bytes_on_link(1, 2), 10u);
+  EXPECT_EQ(net_.bytes_on_link(2, 3), 10u);
+}
+
+TEST_F(LinkLoadTest, AdjustedCostsScaleWithLoad) {
+  Packet p;
+  p.size_bytes = 100;
+  net_.send_link(0, 1, p);
+  net_.send_link(1, 2, p);
+  net_.send_link(1, 2, p);
+  queue_.run_all();
+  const graph::Graph adj = utilization_adjusted(g_, net_, /*alpha=*/1.0);
+  // Busiest link (1-2, 200 bytes): cost * (1 + 1.0) = 2. Half-loaded link
+  // (0-1): cost * 1.5. Idle link (2-3): unchanged.
+  EXPECT_DOUBLE_EQ(adj.edge(1, 2)->cost, 2.0);
+  EXPECT_DOUBLE_EQ(adj.edge(0, 1)->cost, 1.5);
+  EXPECT_DOUBLE_EQ(adj.edge(2, 3)->cost, 1.0);
+  // Delays and structure untouched.
+  EXPECT_DOUBLE_EQ(adj.edge(1, 2)->delay, 1.0);
+  EXPECT_EQ(adj.num_edges(), g_.num_edges());
+}
+
+TEST_F(LinkLoadTest, AlphaZeroIsIdentity) {
+  Packet p;
+  net_.send_link(0, 1, p);
+  queue_.run_all();
+  const graph::Graph adj = utilization_adjusted(g_, net_, 0.0);
+  for (graph::NodeId u = 0; u < g_.num_nodes(); ++u)
+    for (const auto& nb : g_.neighbors(u))
+      EXPECT_DOUBLE_EQ(adj.edge(u, nb.to)->cost, nb.attr.cost);
+}
+
+TEST_F(LinkLoadTest, IdleNetworkAdjustmentIsIdentity) {
+  const graph::Graph adj = utilization_adjusted(g_, net_, 5.0);
+  EXPECT_DOUBLE_EQ(adj.edge(0, 1)->cost, 1.0);
+}
+
+TEST_F(LinkLoadTest, TransmitCallbackSeesEveryCrossing) {
+  int calls = 0;
+  net_.set_transmit_callback(
+      [&](graph::NodeId from, graph::NodeId to, const Packet&, SimTime) {
+        ++calls;
+        EXPECT_TRUE(g_.has_edge(from, to));
+      });
+  Packet p;
+  p.dst = 3;
+  net_.send_unicast(0, p);
+  queue_.run_all();
+  EXPECT_EQ(calls, 3);
+}
+
+}  // namespace
+}  // namespace scmp::sim

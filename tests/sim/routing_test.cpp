@@ -1,0 +1,74 @@
+#include "sim/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace scmp::sim {
+namespace {
+
+TEST(UnicastRouting, NextHopOnLine) {
+  const auto g = test::line(4);
+  const UnicastRouting r(g);
+  EXPECT_EQ(r.next_hop(0, 3), 1);
+  EXPECT_EQ(r.next_hop(1, 3), 2);
+  EXPECT_EQ(r.next_hop(3, 0), 2);
+  EXPECT_EQ(r.next_hop(2, 2), 2);  // self
+}
+
+TEST(UnicastRouting, DistancesMatchDijkstra) {
+  const auto g = test::diamond();
+  const UnicastRouting r(g);
+  EXPECT_DOUBLE_EQ(r.distance(0, 3), 2.0);
+  EXPECT_DOUBLE_EQ(r.distance(3, 0), 2.0);
+  EXPECT_EQ(r.next_hop(0, 3), 1);  // delay-shortest route
+}
+
+TEST(UnicastRouting, RpfNeighborIsTowardSource) {
+  const auto g = test::line(5);
+  const UnicastRouting r(g);
+  EXPECT_EQ(r.rpf_neighbor(4, 0), 3);
+  EXPECT_EQ(r.rpf_neighbor(1, 0), 0);
+}
+
+class RoutingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoutingProperty, NextHopChainsReachDestination) {
+  const auto topo = test::random_topology(GetParam(), 30);
+  const graph::Graph& g = topo.graph;
+  const UnicastRouting r(g);
+  for (graph::NodeId s = 0; s < g.num_nodes(); s += 3) {
+    for (graph::NodeId d = 0; d < g.num_nodes(); d += 2) {
+      graph::NodeId cur = s;
+      int hops = 0;
+      while (cur != d) {
+        const graph::NodeId next = r.next_hop(cur, d);
+        ASSERT_TRUE(g.has_edge(cur, next) || cur == next);
+        ASSERT_NE(next, cur);  // progress
+        cur = next;
+        ASSERT_LE(++hops, g.num_nodes());
+      }
+    }
+  }
+}
+
+TEST_P(RoutingProperty, NextHopDecreasesDistance) {
+  const auto topo = test::random_topology(GetParam(), 30);
+  const graph::Graph& g = topo.graph;
+  const UnicastRouting r(g);
+  for (graph::NodeId s = 0; s < g.num_nodes(); ++s) {
+    for (graph::NodeId d = 0; d < g.num_nodes(); ++d) {
+      if (s == d) continue;
+      const graph::NodeId next = r.next_hop(s, d);
+      const graph::EdgeAttr* e = g.edge(s, next);
+      ASSERT_NE(e, nullptr);
+      EXPECT_NEAR(r.distance(s, d), e->delay + r.distance(next, d), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingProperty,
+                         ::testing::Values(1, 13, 222, 3456));
+
+}  // namespace
+}  // namespace scmp::sim

@@ -1,0 +1,74 @@
+#include "topo/arpanet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scmp::topo {
+namespace {
+
+TEST(Arpanet, HasExpectedShape) {
+  Rng rng(1);
+  const Topology t = arpanet(rng);
+  EXPECT_EQ(t.graph.num_nodes(), kArpanetNodes);
+  EXPECT_EQ(t.graph.num_edges(), kArpanetLinks);
+  EXPECT_TRUE(t.graph.is_connected());
+  EXPECT_EQ(t.name, "arpanet");
+}
+
+TEST(Arpanet, SupportsThePaperGroupSweep) {
+  // §IV-B sweeps group sizes up to 40, so the map must hold 40 members plus
+  // a distinct source and m-router.
+  EXPECT_GE(kArpanetNodes, 42);
+}
+
+TEST(Arpanet, DegreesInRealisticRange) {
+  Rng rng(2);
+  const Topology t = arpanet(rng);
+  for (graph::NodeId v = 0; v < t.graph.num_nodes(); ++v) {
+    EXPECT_GE(t.graph.degree(v), 2) << "node " << v;
+    EXPECT_LE(t.graph.degree(v), 4) << "node " << v;
+  }
+}
+
+TEST(Arpanet, CostModelMatchesRandomTopologies) {
+  Rng rng(3);
+  const Topology t = arpanet(rng);
+  for (graph::NodeId u = 0; u < t.graph.num_nodes(); ++u) {
+    for (const auto& nb : t.graph.neighbors(u)) {
+      const int d = manhattan(t.coords[static_cast<std::size_t>(u)],
+                              t.coords[static_cast<std::size_t>(nb.to)]);
+      EXPECT_DOUBLE_EQ(nb.attr.cost, static_cast<double>(d));
+      EXPECT_GE(nb.attr.delay, 0.0);
+      EXPECT_LE(nb.attr.delay, nb.attr.cost);
+    }
+  }
+}
+
+TEST(Arpanet, AdjacencyIsSeedIndependent) {
+  Rng r1(10), r2(20);
+  const Topology a = arpanet(r1);
+  const Topology b = arpanet(r2);
+  ASSERT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  for (graph::NodeId u = 0; u < a.graph.num_nodes(); ++u) {
+    ASSERT_EQ(a.graph.neighbors(u).size(), b.graph.neighbors(u).size());
+    for (std::size_t i = 0; i < a.graph.neighbors(u).size(); ++i)
+      EXPECT_EQ(a.graph.neighbors(u)[i].to, b.graph.neighbors(u)[i].to);
+  }
+}
+
+TEST(Arpanet, DelaysAreSeedDependent) {
+  Rng r1(10), r2(20);
+  const Topology a = arpanet(r1);
+  const Topology b = arpanet(r2);
+  int differing = 0;
+  for (graph::NodeId u = 0; u < a.graph.num_nodes(); ++u) {
+    for (std::size_t i = 0; i < a.graph.neighbors(u).size(); ++i) {
+      if (a.graph.neighbors(u)[i].attr.delay !=
+          b.graph.neighbors(u)[i].attr.delay)
+        ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+}  // namespace
+}  // namespace scmp::topo

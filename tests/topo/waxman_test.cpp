@@ -1,0 +1,173 @@
+#include "topo/waxman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace scmp::topo {
+namespace {
+
+TEST(Waxman, ProducesRequestedNodeCount) {
+  Rng rng(1);
+  WaxmanConfig cfg;
+  cfg.num_nodes = 40;
+  const Topology t = waxman(cfg, rng);
+  EXPECT_EQ(t.graph.num_nodes(), 40);
+  EXPECT_EQ(t.coords.size(), 40u);
+}
+
+TEST(Waxman, AlwaysConnected) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    WaxmanConfig cfg;
+    cfg.num_nodes = 50;
+    cfg.beta = 0.05;  // sparse: forces the repair path
+    const Topology t = waxman(cfg, rng);
+    EXPECT_TRUE(t.graph.is_connected()) << "seed " << seed;
+  }
+}
+
+TEST(Waxman, CoordinatesInGrid) {
+  Rng rng(3);
+  WaxmanConfig cfg;
+  cfg.num_nodes = 60;
+  const Topology t = waxman(cfg, rng);
+  for (const Point& p : t.coords) {
+    EXPECT_GE(p.x, 0);
+    EXPECT_LE(p.x, cfg.grid);
+    EXPECT_GE(p.y, 0);
+    EXPECT_LE(p.y, cfg.grid);
+  }
+}
+
+TEST(Waxman, CostIsManhattanDistance) {
+  Rng rng(4);
+  WaxmanConfig cfg;
+  cfg.num_nodes = 30;
+  const Topology t = waxman(cfg, rng);
+  for (graph::NodeId u = 0; u < t.graph.num_nodes(); ++u) {
+    for (const auto& nb : t.graph.neighbors(u)) {
+      const int d = manhattan(t.coords[static_cast<std::size_t>(u)],
+                              t.coords[static_cast<std::size_t>(nb.to)]);
+      EXPECT_DOUBLE_EQ(nb.attr.cost, static_cast<double>(d));
+    }
+  }
+}
+
+TEST(Waxman, DelayBoundedByCost) {
+  // Paper §IV-A: link delay ~ Uniform(0, link cost).
+  Rng rng(5);
+  WaxmanConfig cfg;
+  cfg.num_nodes = 50;
+  const Topology t = waxman(cfg, rng);
+  for (graph::NodeId u = 0; u < t.graph.num_nodes(); ++u) {
+    for (const auto& nb : t.graph.neighbors(u)) {
+      EXPECT_GE(nb.attr.delay, 0.0);
+      EXPECT_LE(nb.attr.delay, nb.attr.cost);
+    }
+  }
+}
+
+TEST(Waxman, DeterministicPerSeed) {
+  WaxmanConfig cfg;
+  cfg.num_nodes = 30;
+  Rng r1(99), r2(99);
+  const Topology a = waxman(cfg, r1);
+  const Topology b = waxman(cfg, r2);
+  ASSERT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  for (graph::NodeId u = 0; u < a.graph.num_nodes(); ++u) {
+    ASSERT_EQ(a.graph.neighbors(u).size(), b.graph.neighbors(u).size());
+    for (std::size_t i = 0; i < a.graph.neighbors(u).size(); ++i) {
+      EXPECT_EQ(a.graph.neighbors(u)[i].to, b.graph.neighbors(u)[i].to);
+      EXPECT_DOUBLE_EQ(a.graph.neighbors(u)[i].attr.delay,
+                       b.graph.neighbors(u)[i].attr.delay);
+    }
+  }
+}
+
+TEST(Waxman, HigherBetaMoreEdges) {
+  WaxmanConfig sparse, dense;
+  sparse.num_nodes = dense.num_nodes = 60;
+  sparse.beta = 0.05;
+  dense.beta = 0.5;
+  Rng r1(7), r2(7);
+  const Topology a = waxman(sparse, r1);
+  const Topology b = waxman(dense, r2);
+  EXPECT_LT(a.graph.num_edges(), b.graph.num_edges());
+}
+
+TEST(WaxmanDegree, HitsTargetDegree3) {
+  Rng rng(11);
+  const Topology t = waxman_with_degree(50, 3.0, rng);
+  EXPECT_EQ(t.graph.num_nodes(), 50);
+  EXPECT_TRUE(t.graph.is_connected());
+  EXPECT_NEAR(t.graph.average_degree(), 3.0, 0.5);
+}
+
+TEST(WaxmanDegree, HitsTargetDegree5) {
+  Rng rng(12);
+  const Topology t = waxman_with_degree(50, 5.0, rng);
+  EXPECT_NEAR(t.graph.average_degree(), 5.0, 0.5);
+  EXPECT_TRUE(t.graph.is_connected());
+}
+
+TEST(WaxmanDegree, NameIncludesDegree) {
+  Rng rng(13);
+  const Topology t = waxman_with_degree(50, 3.0, rng);
+  EXPECT_NE(t.name.find("deg3"), std::string::npos);
+}
+
+TEST(Waxman, EdgeProbabilityDecaysWithDistance) {
+  // Pool edges over many seeds and compare the empirical edge frequency of
+  // near pairs against far pairs: the Waxman kernel e^{-d/(alpha L)} must
+  // make near pairs clearly more likely.
+  int near_pairs = 0, near_edges = 0, far_pairs = 0, far_edges = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed * 7);
+    WaxmanConfig cfg;
+    cfg.num_nodes = 40;
+    cfg.beta = 0.4;
+    const Topology t = waxman(cfg, rng);
+    const int threshold_near = cfg.grid / 4;       // d < L/8
+    const int threshold_far = 3 * cfg.grid / 2;    // d > 3L/4
+    for (graph::NodeId u = 0; u < t.graph.num_nodes(); ++u) {
+      for (graph::NodeId v = u + 1; v < t.graph.num_nodes(); ++v) {
+        const int d = manhattan(t.coords[static_cast<std::size_t>(u)],
+                                t.coords[static_cast<std::size_t>(v)]);
+        if (d < threshold_near) {
+          ++near_pairs;
+          if (t.graph.has_edge(u, v)) ++near_edges;
+        } else if (d > threshold_far) {
+          ++far_pairs;
+          if (t.graph.has_edge(u, v)) ++far_edges;
+        }
+      }
+    }
+  }
+  ASSERT_GT(near_pairs, 100);
+  ASSERT_GT(far_pairs, 100);
+  const double near_rate = static_cast<double>(near_edges) / near_pairs;
+  const double far_rate = static_cast<double>(far_edges) / far_pairs;
+  EXPECT_GT(near_rate, 3.0 * far_rate);
+}
+
+class WaxmanSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WaxmanSeedSweep, PaperConfigIsUsable) {
+  // The Fig. 7 configuration: n=100, alpha=0.25, beta=0.2.
+  Rng rng(GetParam());
+  WaxmanConfig cfg;
+  cfg.num_nodes = 100;
+  cfg.alpha = 0.25;
+  cfg.beta = 0.2;
+  const Topology t = waxman(cfg, rng);
+  EXPECT_TRUE(t.graph.is_connected());
+  EXPECT_GE(t.graph.average_degree(), 2.0);
+  EXPECT_LE(t.graph.average_degree(), 40.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaxmanSeedSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace scmp::topo

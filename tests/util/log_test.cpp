@@ -1,0 +1,77 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/packet.hpp"
+
+namespace scmp {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultLevelIsOff) {
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST(Log, LevelsAreOrdered) {
+  EXPECT_LT(LogLevel::kOff, LogLevel::kError);
+  EXPECT_LT(LogLevel::kError, LogLevel::kInfo);
+  EXPECT_LT(LogLevel::kInfo, LogLevel::kDebug);
+  EXPECT_LT(LogLevel::kDebug, LogLevel::kTrace);
+}
+
+TEST(Log, SetAndRestoreLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST(Log, ConcatFormatsMixedArguments) {
+  EXPECT_EQ(detail::concat("node ", 5, " cost ", 2.5), "node 5 cost 2.5");
+  EXPECT_EQ(detail::concat(), "");
+}
+
+TEST(Log, EmittingAtEveryLevelDoesNotCrash) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kTrace);
+  log_info("info ", 1);
+  log_debug("debug ", 2);
+  log_trace("trace ", 3);
+  set_log_level(LogLevel::kOff);
+  log_info("suppressed");
+}
+
+TEST(PacketDescribe, CoversEveryType) {
+  using sim::PacketType;
+  for (const auto type :
+       {PacketType::kData, PacketType::kDataEncap, PacketType::kJoin,
+        PacketType::kLeave, PacketType::kTree, PacketType::kBranch,
+        PacketType::kPrune, PacketType::kClear, PacketType::kCbtJoin,
+        PacketType::kCbtAck, PacketType::kCbtQuit, PacketType::kDvmrpPrune,
+        PacketType::kDvmrpGraft, PacketType::kPimJoin, PacketType::kPimPrune,
+        PacketType::kGroupLsa, PacketType::kIgmpQuery,
+        PacketType::kIgmpReport, PacketType::kIgmpLeave}) {
+    EXPECT_STRNE(sim::to_string(type), "UNKNOWN");
+    sim::Packet p;
+    p.type = type;
+    p.group = 7;
+    EXPECT_NE(sim::describe(p).find("group=7"), std::string::npos);
+  }
+}
+
+TEST(PacketDescribe, DataClassification) {
+  EXPECT_TRUE(sim::is_data_type(sim::PacketType::kData));
+  EXPECT_TRUE(sim::is_data_type(sim::PacketType::kDataEncap));
+  EXPECT_FALSE(sim::is_data_type(sim::PacketType::kTree));
+  EXPECT_FALSE(sim::is_data_type(sim::PacketType::kGroupLsa));
+}
+
+}  // namespace
+}  // namespace scmp

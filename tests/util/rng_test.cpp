@@ -1,0 +1,191 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace scmp {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 100; ++i) values.insert(r.next_u64());
+  EXPECT_GT(values.size(), 90u);  // not stuck
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform_int(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng r(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(3, 3), 3);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng r(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntApproximatelyUniform) {
+  Rng r(13);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i)
+    ++counts[static_cast<std::size_t>(r.uniform_int(0, 9))];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 10 * 0.9);
+    EXPECT_LT(c, kDraws / 10 * 1.1);
+  }
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng r(17);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRealBounds) {
+  Rng r(19);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform_real(2.5, 7.5);
+    EXPECT_GE(v, 2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(Rng, UniformRealDegenerateRange) {
+  Rng r(19);
+  EXPECT_DOUBLE_EQ(r.uniform_real(4.0, 4.0), 4.0);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng r(29);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i)
+    if (r.chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(31);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  r.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rng, ShuffleEmptyAndSingle) {
+  Rng r(31);
+  std::vector<int> empty;
+  r.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{5};
+  r.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{5});
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng r(37);
+  const auto sample = r.sample_without_replacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<int> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 20u);
+  for (int v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 50);
+  }
+}
+
+TEST(Rng, SampleFullPopulation) {
+  Rng r(37);
+  const auto sample = r.sample_without_replacement(10, 10);
+  std::set<int> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 10u);
+}
+
+TEST(Rng, SampleZero) {
+  Rng r(37);
+  EXPECT_TRUE(r.sample_without_replacement(10, 0).empty());
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(41);
+  Rng b = a.fork();
+  // The fork should not replay the parent's stream.
+  Rng a2(41);
+  a2.next_u64();  // advance like `a` did while forking
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (b.next_u64() == a2.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitmixDeterministic) {
+  std::uint64_t s1 = 99, s2 = 99;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, MeanNearHalf) {
+  Rng r(GetParam());
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += r.uniform01();
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST_P(RngSeedSweep, SampleAlwaysDistinct) {
+  Rng r(GetParam());
+  for (int k = 0; k <= 30; k += 10) {
+    const auto s = r.sample_without_replacement(30, k);
+    std::set<int> d(s.begin(), s.end());
+    EXPECT_EQ(d.size(), static_cast<std::size_t>(k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1, 2, 3, 1234, 987654321,
+                                           0xdeadbeefULL));
+
+}  // namespace
+}  // namespace scmp

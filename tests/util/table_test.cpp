@@ -1,0 +1,52 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace scmp {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header, rule and two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, CsvFormat) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1", "2", "3"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,2,3\n");
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 0), "3");
+  EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+TEST(Table, RowCount) {
+  Table t({"h"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"r1"});
+  t.add_row({"r2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableDeath, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "Precondition");
+}
+
+}  // namespace
+}  // namespace scmp
