@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_branch_vs_tree.dir/ablation_branch_vs_tree.cpp.o"
+  "CMakeFiles/ablation_branch_vs_tree.dir/ablation_branch_vs_tree.cpp.o.d"
+  "ablation_branch_vs_tree"
+  "ablation_branch_vs_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_branch_vs_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

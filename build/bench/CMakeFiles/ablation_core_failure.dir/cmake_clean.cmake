@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_core_failure.dir/ablation_core_failure.cpp.o"
+  "CMakeFiles/ablation_core_failure.dir/ablation_core_failure.cpp.o.d"
+  "ablation_core_failure"
+  "ablation_core_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_core_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dynamic_stability.dir/ablation_dynamic_stability.cpp.o"
+  "CMakeFiles/ablation_dynamic_stability.dir/ablation_dynamic_stability.cpp.o.d"
+  "ablation_dynamic_stability"
+  "ablation_dynamic_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dynamic_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

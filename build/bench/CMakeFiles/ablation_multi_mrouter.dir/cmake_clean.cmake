@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multi_mrouter.dir/ablation_multi_mrouter.cpp.o"
+  "CMakeFiles/ablation_multi_mrouter.dir/ablation_multi_mrouter.cpp.o.d"
+  "ablation_multi_mrouter"
+  "ablation_multi_mrouter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multi_mrouter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pimsm_switchover.dir/ablation_pimsm_switchover.cpp.o"
+  "CMakeFiles/ablation_pimsm_switchover.dir/ablation_pimsm_switchover.cpp.o.d"
+  "ablation_pimsm_switchover"
+  "ablation_pimsm_switchover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pimsm_switchover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_pimsm_switchover.
+# This may be replaced when dependencies are built.

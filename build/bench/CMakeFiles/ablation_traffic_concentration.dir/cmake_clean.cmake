@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_traffic_concentration.dir/ablation_traffic_concentration.cpp.o"
+  "CMakeFiles/ablation_traffic_concentration.dir/ablation_traffic_concentration.cpp.o.d"
+  "ablation_traffic_concentration"
+  "ablation_traffic_concentration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_traffic_concentration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

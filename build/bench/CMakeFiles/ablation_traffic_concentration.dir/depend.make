@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_traffic_concentration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_tree_quality.dir/fig7_tree_quality.cpp.o"
+  "CMakeFiles/fig7_tree_quality.dir/fig7_tree_quality.cpp.o.d"
+  "fig7_tree_quality"
+  "fig7_tree_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_tree_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

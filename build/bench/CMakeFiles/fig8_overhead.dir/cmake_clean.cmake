@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_overhead.dir/fig8_overhead.cpp.o"
+  "CMakeFiles/fig8_overhead.dir/fig8_overhead.cpp.o.d"
+  "fig8_overhead"
+  "fig8_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_delay.dir/fig9_delay.cpp.o"
+  "CMakeFiles/fig9_delay.dir/fig9_delay.cpp.o.d"
+  "fig9_delay"
+  "fig9_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_compute_pool.dir/micro_compute_pool.cpp.o"
+  "CMakeFiles/micro_compute_pool.dir/micro_compute_pool.cpp.o.d"
+  "micro_compute_pool"
+  "micro_compute_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_compute_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dcdm.dir/micro_dcdm.cpp.o"
+  "CMakeFiles/micro_dcdm.dir/micro_dcdm.cpp.o.d"
+  "micro_dcdm"
+  "micro_dcdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dcdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fabric.dir/micro_fabric.cpp.o"
+  "CMakeFiles/micro_fabric.dir/micro_fabric.cpp.o.d"
+  "micro_fabric"
+  "micro_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

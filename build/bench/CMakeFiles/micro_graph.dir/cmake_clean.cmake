@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_graph.dir/micro_graph.cpp.o"
+  "CMakeFiles/micro_graph.dir/micro_graph.cpp.o.d"
+  "micro_graph"
+  "micro_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

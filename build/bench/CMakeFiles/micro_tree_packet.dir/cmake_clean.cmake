@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tree_packet.dir/micro_tree_packet.cpp.o"
+  "CMakeFiles/micro_tree_packet.dir/micro_tree_packet.cpp.o.d"
+  "micro_tree_packet"
+  "micro_tree_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tree_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_costs.dir/adaptive_costs.cpp.o"
+  "CMakeFiles/adaptive_costs.dir/adaptive_costs.cpp.o.d"
+  "adaptive_costs"
+  "adaptive_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

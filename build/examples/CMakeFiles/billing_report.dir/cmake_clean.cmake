@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/billing_report.dir/billing_report.cpp.o"
+  "CMakeFiles/billing_report.dir/billing_report.cpp.o.d"
+  "billing_report"
+  "billing_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/billing_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

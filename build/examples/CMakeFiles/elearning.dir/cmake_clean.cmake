@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elearning.dir/elearning.cpp.o"
+  "CMakeFiles/elearning.dir/elearning.cpp.o.d"
+  "elearning"
+  "elearning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elearning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

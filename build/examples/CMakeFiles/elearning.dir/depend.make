@@ -1,0 +1,2 @@
+# Empty dependencies file for elearning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for failover_drill.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scmpsim.dir/scmpsim.cpp.o"
+  "CMakeFiles/scmpsim.dir/scmpsim.cpp.o.d"
+  "scmpsim"
+  "scmpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scmpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_distribution.dir/software_distribution.cpp.o"
+  "CMakeFiles/software_distribution.dir/software_distribution.cpp.o.d"
+  "software_distribution"
+  "software_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

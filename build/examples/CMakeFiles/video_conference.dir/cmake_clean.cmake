@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_conference.dir/video_conference.cpp.o"
+  "CMakeFiles/video_conference.dir/video_conference.cpp.o.d"
+  "video_conference"
+  "video_conference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_conference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_video_conference "/root/repo/build/examples/video_conference")
+set_tests_properties(example_video_conference PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_software_distribution "/root/repo/build/examples/software_distribution")
+set_tests_properties(example_software_distribution PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_failover_drill "/root/repo/build/examples/failover_drill")
+set_tests_properties(example_failover_drill PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_adaptive_costs "/root/repo/build/examples/adaptive_costs")
+set_tests_properties(example_adaptive_costs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_billing_report "/root/repo/build/examples/billing_report")
+set_tests_properties(example_billing_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_elearning "/root/repo/build/examples/elearning")
+set_tests_properties(example_elearning PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scmpsim "/root/repo/build/examples/scmpsim" "--topo" "arpanet" "--protocol" "scmp" "--group-size" "6")
+set_tests_properties(example_scmpsim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scmpsim_pimsm "/root/repo/build/examples/scmpsim" "--topo" "deg5" "--protocol" "pimsm" "--group-size" "12" "--off-tree-source")
+set_tests_properties(example_scmpsim_pimsm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")

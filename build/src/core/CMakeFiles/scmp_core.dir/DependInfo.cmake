@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compute_pool.cpp" "src/core/CMakeFiles/scmp_core.dir/compute_pool.cpp.o" "gcc" "src/core/CMakeFiles/scmp_core.dir/compute_pool.cpp.o.d"
+  "/root/repo/src/core/database.cpp" "src/core/CMakeFiles/scmp_core.dir/database.cpp.o" "gcc" "src/core/CMakeFiles/scmp_core.dir/database.cpp.o.d"
+  "/root/repo/src/core/dcdm.cpp" "src/core/CMakeFiles/scmp_core.dir/dcdm.cpp.o" "gcc" "src/core/CMakeFiles/scmp_core.dir/dcdm.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/scmp_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/scmp_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/mrouter_node.cpp" "src/core/CMakeFiles/scmp_core.dir/mrouter_node.cpp.o" "gcc" "src/core/CMakeFiles/scmp_core.dir/mrouter_node.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/core/CMakeFiles/scmp_core.dir/placement.cpp.o" "gcc" "src/core/CMakeFiles/scmp_core.dir/placement.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/scmp_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/scmp_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/scmp.cpp" "src/core/CMakeFiles/scmp_core.dir/scmp.cpp.o" "gcc" "src/core/CMakeFiles/scmp_core.dir/scmp.cpp.o.d"
+  "/root/repo/src/core/tree_packet.cpp" "src/core/CMakeFiles/scmp_core.dir/tree_packet.cpp.o" "gcc" "src/core/CMakeFiles/scmp_core.dir/tree_packet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocols/CMakeFiles/scmp_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/scmp_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/igmp/CMakeFiles/scmp_igmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/scmp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scmp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scmp_core.dir/compute_pool.cpp.o"
+  "CMakeFiles/scmp_core.dir/compute_pool.cpp.o.d"
+  "CMakeFiles/scmp_core.dir/database.cpp.o"
+  "CMakeFiles/scmp_core.dir/database.cpp.o.d"
+  "CMakeFiles/scmp_core.dir/dcdm.cpp.o"
+  "CMakeFiles/scmp_core.dir/dcdm.cpp.o.d"
+  "CMakeFiles/scmp_core.dir/experiment.cpp.o"
+  "CMakeFiles/scmp_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/scmp_core.dir/mrouter_node.cpp.o"
+  "CMakeFiles/scmp_core.dir/mrouter_node.cpp.o.d"
+  "CMakeFiles/scmp_core.dir/placement.cpp.o"
+  "CMakeFiles/scmp_core.dir/placement.cpp.o.d"
+  "CMakeFiles/scmp_core.dir/scheduler.cpp.o"
+  "CMakeFiles/scmp_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/scmp_core.dir/scmp.cpp.o"
+  "CMakeFiles/scmp_core.dir/scmp.cpp.o.d"
+  "CMakeFiles/scmp_core.dir/tree_packet.cpp.o"
+  "CMakeFiles/scmp_core.dir/tree_packet.cpp.o.d"
+  "libscmp_core.a"
+  "libscmp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scmp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

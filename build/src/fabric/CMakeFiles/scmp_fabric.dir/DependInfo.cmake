@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/benes.cpp" "src/fabric/CMakeFiles/scmp_fabric.dir/benes.cpp.o" "gcc" "src/fabric/CMakeFiles/scmp_fabric.dir/benes.cpp.o.d"
+  "/root/repo/src/fabric/ccn.cpp" "src/fabric/CMakeFiles/scmp_fabric.dir/ccn.cpp.o" "gcc" "src/fabric/CMakeFiles/scmp_fabric.dir/ccn.cpp.o.d"
+  "/root/repo/src/fabric/ccn_circuit.cpp" "src/fabric/CMakeFiles/scmp_fabric.dir/ccn_circuit.cpp.o" "gcc" "src/fabric/CMakeFiles/scmp_fabric.dir/ccn_circuit.cpp.o.d"
+  "/root/repo/src/fabric/mrouter_fabric.cpp" "src/fabric/CMakeFiles/scmp_fabric.dir/mrouter_fabric.cpp.o" "gcc" "src/fabric/CMakeFiles/scmp_fabric.dir/mrouter_fabric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/scmp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scmp_fabric.dir/benes.cpp.o"
+  "CMakeFiles/scmp_fabric.dir/benes.cpp.o.d"
+  "CMakeFiles/scmp_fabric.dir/ccn.cpp.o"
+  "CMakeFiles/scmp_fabric.dir/ccn.cpp.o.d"
+  "CMakeFiles/scmp_fabric.dir/ccn_circuit.cpp.o"
+  "CMakeFiles/scmp_fabric.dir/ccn_circuit.cpp.o.d"
+  "CMakeFiles/scmp_fabric.dir/mrouter_fabric.cpp.o"
+  "CMakeFiles/scmp_fabric.dir/mrouter_fabric.cpp.o.d"
+  "libscmp_fabric.a"
+  "libscmp_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scmp_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dijkstra.cpp" "src/graph/CMakeFiles/scmp_graph.dir/dijkstra.cpp.o" "gcc" "src/graph/CMakeFiles/scmp_graph.dir/dijkstra.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/graph/CMakeFiles/scmp_graph.dir/dot.cpp.o" "gcc" "src/graph/CMakeFiles/scmp_graph.dir/dot.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/scmp_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/scmp_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/mst.cpp" "src/graph/CMakeFiles/scmp_graph.dir/mst.cpp.o" "gcc" "src/graph/CMakeFiles/scmp_graph.dir/mst.cpp.o.d"
+  "/root/repo/src/graph/multicast_tree.cpp" "src/graph/CMakeFiles/scmp_graph.dir/multicast_tree.cpp.o" "gcc" "src/graph/CMakeFiles/scmp_graph.dir/multicast_tree.cpp.o.d"
+  "/root/repo/src/graph/paths.cpp" "src/graph/CMakeFiles/scmp_graph.dir/paths.cpp.o" "gcc" "src/graph/CMakeFiles/scmp_graph.dir/paths.cpp.o.d"
+  "/root/repo/src/graph/spt.cpp" "src/graph/CMakeFiles/scmp_graph.dir/spt.cpp.o" "gcc" "src/graph/CMakeFiles/scmp_graph.dir/spt.cpp.o.d"
+  "/root/repo/src/graph/steiner.cpp" "src/graph/CMakeFiles/scmp_graph.dir/steiner.cpp.o" "gcc" "src/graph/CMakeFiles/scmp_graph.dir/steiner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/scmp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scmp_graph.dir/dijkstra.cpp.o"
+  "CMakeFiles/scmp_graph.dir/dijkstra.cpp.o.d"
+  "CMakeFiles/scmp_graph.dir/dot.cpp.o"
+  "CMakeFiles/scmp_graph.dir/dot.cpp.o.d"
+  "CMakeFiles/scmp_graph.dir/graph.cpp.o"
+  "CMakeFiles/scmp_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/scmp_graph.dir/mst.cpp.o"
+  "CMakeFiles/scmp_graph.dir/mst.cpp.o.d"
+  "CMakeFiles/scmp_graph.dir/multicast_tree.cpp.o"
+  "CMakeFiles/scmp_graph.dir/multicast_tree.cpp.o.d"
+  "CMakeFiles/scmp_graph.dir/paths.cpp.o"
+  "CMakeFiles/scmp_graph.dir/paths.cpp.o.d"
+  "CMakeFiles/scmp_graph.dir/spt.cpp.o"
+  "CMakeFiles/scmp_graph.dir/spt.cpp.o.d"
+  "CMakeFiles/scmp_graph.dir/steiner.cpp.o"
+  "CMakeFiles/scmp_graph.dir/steiner.cpp.o.d"
+  "libscmp_graph.a"
+  "libscmp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scmp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

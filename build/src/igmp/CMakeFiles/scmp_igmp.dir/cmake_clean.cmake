@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scmp_igmp.dir/igmp.cpp.o"
+  "CMakeFiles/scmp_igmp.dir/igmp.cpp.o.d"
+  "libscmp_igmp.a"
+  "libscmp_igmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scmp_igmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

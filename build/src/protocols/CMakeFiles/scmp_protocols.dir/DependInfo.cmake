@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/cbt.cpp" "src/protocols/CMakeFiles/scmp_protocols.dir/cbt.cpp.o" "gcc" "src/protocols/CMakeFiles/scmp_protocols.dir/cbt.cpp.o.d"
+  "/root/repo/src/protocols/dvmrp.cpp" "src/protocols/CMakeFiles/scmp_protocols.dir/dvmrp.cpp.o" "gcc" "src/protocols/CMakeFiles/scmp_protocols.dir/dvmrp.cpp.o.d"
+  "/root/repo/src/protocols/mospf.cpp" "src/protocols/CMakeFiles/scmp_protocols.dir/mospf.cpp.o" "gcc" "src/protocols/CMakeFiles/scmp_protocols.dir/mospf.cpp.o.d"
+  "/root/repo/src/protocols/multicast_protocol.cpp" "src/protocols/CMakeFiles/scmp_protocols.dir/multicast_protocol.cpp.o" "gcc" "src/protocols/CMakeFiles/scmp_protocols.dir/multicast_protocol.cpp.o.d"
+  "/root/repo/src/protocols/pimsm.cpp" "src/protocols/CMakeFiles/scmp_protocols.dir/pimsm.cpp.o" "gcc" "src/protocols/CMakeFiles/scmp_protocols.dir/pimsm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/scmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/igmp/CMakeFiles/scmp_igmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/scmp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scmp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scmp_protocols.dir/cbt.cpp.o"
+  "CMakeFiles/scmp_protocols.dir/cbt.cpp.o.d"
+  "CMakeFiles/scmp_protocols.dir/dvmrp.cpp.o"
+  "CMakeFiles/scmp_protocols.dir/dvmrp.cpp.o.d"
+  "CMakeFiles/scmp_protocols.dir/mospf.cpp.o"
+  "CMakeFiles/scmp_protocols.dir/mospf.cpp.o.d"
+  "CMakeFiles/scmp_protocols.dir/multicast_protocol.cpp.o"
+  "CMakeFiles/scmp_protocols.dir/multicast_protocol.cpp.o.d"
+  "CMakeFiles/scmp_protocols.dir/pimsm.cpp.o"
+  "CMakeFiles/scmp_protocols.dir/pimsm.cpp.o.d"
+  "libscmp_protocols.a"
+  "libscmp_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scmp_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

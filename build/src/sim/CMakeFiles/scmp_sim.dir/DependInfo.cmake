@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/scmp_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/scmp_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/link_load.cpp" "src/sim/CMakeFiles/scmp_sim.dir/link_load.cpp.o" "gcc" "src/sim/CMakeFiles/scmp_sim.dir/link_load.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/scmp_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/scmp_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/packet.cpp" "src/sim/CMakeFiles/scmp_sim.dir/packet.cpp.o" "gcc" "src/sim/CMakeFiles/scmp_sim.dir/packet.cpp.o.d"
+  "/root/repo/src/sim/routing.cpp" "src/sim/CMakeFiles/scmp_sim.dir/routing.cpp.o" "gcc" "src/sim/CMakeFiles/scmp_sim.dir/routing.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/scmp_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/scmp_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/scmp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scmp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

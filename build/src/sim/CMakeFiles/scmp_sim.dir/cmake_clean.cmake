@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scmp_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/scmp_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/scmp_sim.dir/link_load.cpp.o"
+  "CMakeFiles/scmp_sim.dir/link_load.cpp.o.d"
+  "CMakeFiles/scmp_sim.dir/network.cpp.o"
+  "CMakeFiles/scmp_sim.dir/network.cpp.o.d"
+  "CMakeFiles/scmp_sim.dir/packet.cpp.o"
+  "CMakeFiles/scmp_sim.dir/packet.cpp.o.d"
+  "CMakeFiles/scmp_sim.dir/routing.cpp.o"
+  "CMakeFiles/scmp_sim.dir/routing.cpp.o.d"
+  "CMakeFiles/scmp_sim.dir/trace.cpp.o"
+  "CMakeFiles/scmp_sim.dir/trace.cpp.o.d"
+  "libscmp_sim.a"
+  "libscmp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scmp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscmp_sim.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/arpanet.cpp" "src/topo/CMakeFiles/scmp_topo.dir/arpanet.cpp.o" "gcc" "src/topo/CMakeFiles/scmp_topo.dir/arpanet.cpp.o.d"
+  "/root/repo/src/topo/waxman.cpp" "src/topo/CMakeFiles/scmp_topo.dir/waxman.cpp.o" "gcc" "src/topo/CMakeFiles/scmp_topo.dir/waxman.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/scmp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scmp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scmp_topo.dir/arpanet.cpp.o"
+  "CMakeFiles/scmp_topo.dir/arpanet.cpp.o.d"
+  "CMakeFiles/scmp_topo.dir/waxman.cpp.o"
+  "CMakeFiles/scmp_topo.dir/waxman.cpp.o.d"
+  "libscmp_topo.a"
+  "libscmp_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scmp_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

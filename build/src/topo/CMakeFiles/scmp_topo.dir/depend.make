@@ -1,0 +1,2 @@
+# Empty dependencies file for scmp_topo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scmp_util.dir/log.cpp.o"
+  "CMakeFiles/scmp_util.dir/log.cpp.o.d"
+  "CMakeFiles/scmp_util.dir/rng.cpp.o"
+  "CMakeFiles/scmp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/scmp_util.dir/stats.cpp.o"
+  "CMakeFiles/scmp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/scmp_util.dir/table.cpp.o"
+  "CMakeFiles/scmp_util.dir/table.cpp.o.d"
+  "libscmp_util.a"
+  "libscmp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scmp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

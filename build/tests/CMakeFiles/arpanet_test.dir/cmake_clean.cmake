@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arpanet_test.dir/topo/arpanet_test.cpp.o"
+  "CMakeFiles/arpanet_test.dir/topo/arpanet_test.cpp.o.d"
+  "arpanet_test"
+  "arpanet_test.pdb"
+  "arpanet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arpanet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

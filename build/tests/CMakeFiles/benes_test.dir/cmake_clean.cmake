@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benes_test.dir/fabric/benes_test.cpp.o"
+  "CMakeFiles/benes_test.dir/fabric/benes_test.cpp.o.d"
+  "benes_test"
+  "benes_test.pdb"
+  "benes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbt_test.dir/protocols/cbt_test.cpp.o"
+  "CMakeFiles/cbt_test.dir/protocols/cbt_test.cpp.o.d"
+  "cbt_test"
+  "cbt_test.pdb"
+  "cbt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

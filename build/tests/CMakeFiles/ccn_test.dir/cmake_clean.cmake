@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccn_test.dir/fabric/ccn_test.cpp.o"
+  "CMakeFiles/ccn_test.dir/fabric/ccn_test.cpp.o.d"
+  "ccn_test"
+  "ccn_test.pdb"
+  "ccn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

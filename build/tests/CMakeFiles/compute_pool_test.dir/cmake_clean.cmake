@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compute_pool_test.dir/core/compute_pool_test.cpp.o"
+  "CMakeFiles/compute_pool_test.dir/core/compute_pool_test.cpp.o.d"
+  "compute_pool_test"
+  "compute_pool_test.pdb"
+  "compute_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compute_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_protocol_test.dir/protocols/cross_protocol_test.cpp.o"
+  "CMakeFiles/cross_protocol_test.dir/protocols/cross_protocol_test.cpp.o.d"
+  "cross_protocol_test"
+  "cross_protocol_test.pdb"
+  "cross_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdm_paper_example_test.dir/core/dcdm_paper_example_test.cpp.o"
+  "CMakeFiles/dcdm_paper_example_test.dir/core/dcdm_paper_example_test.cpp.o.d"
+  "dcdm_paper_example_test"
+  "dcdm_paper_example_test.pdb"
+  "dcdm_paper_example_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdm_paper_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdm_test.dir/core/dcdm_test.cpp.o"
+  "CMakeFiles/dcdm_test.dir/core/dcdm_test.cpp.o.d"
+  "dcdm_test"
+  "dcdm_test.pdb"
+  "dcdm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dijkstra_test.dir/graph/dijkstra_test.cpp.o"
+  "CMakeFiles/dijkstra_test.dir/graph/dijkstra_test.cpp.o.d"
+  "dijkstra_test"
+  "dijkstra_test.pdb"
+  "dijkstra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dijkstra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

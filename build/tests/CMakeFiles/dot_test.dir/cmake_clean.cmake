@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_test.dir/graph/dot_test.cpp.o"
+  "CMakeFiles/dot_test.dir/graph/dot_test.cpp.o.d"
+  "dot_test"
+  "dot_test.pdb"
+  "dot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvmrp_test.dir/protocols/dvmrp_test.cpp.o"
+  "CMakeFiles/dvmrp_test.dir/protocols/dvmrp_test.cpp.o.d"
+  "dvmrp_test"
+  "dvmrp_test.pdb"
+  "dvmrp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvmrp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/igmp/igmp_test.cpp" "tests/CMakeFiles/igmp_test.dir/igmp/igmp_test.cpp.o" "gcc" "tests/CMakeFiles/igmp_test.dir/igmp/igmp_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/scmp_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/scmp_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/scmp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/igmp/CMakeFiles/scmp_igmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/scmp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scmp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

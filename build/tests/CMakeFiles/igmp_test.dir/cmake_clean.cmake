@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igmp_test.dir/igmp/igmp_test.cpp.o"
+  "CMakeFiles/igmp_test.dir/igmp/igmp_test.cpp.o.d"
+  "igmp_test"
+  "igmp_test.pdb"
+  "igmp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igmp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_load_test.dir/sim/link_load_test.cpp.o"
+  "CMakeFiles/link_load_test.dir/sim/link_load_test.cpp.o.d"
+  "link_load_test"
+  "link_load_test.pdb"
+  "link_load_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

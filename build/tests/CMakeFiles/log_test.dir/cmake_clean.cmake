@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_test.dir/util/log_test.cpp.o"
+  "CMakeFiles/log_test.dir/util/log_test.cpp.o.d"
+  "log_test"
+  "log_test.pdb"
+  "log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

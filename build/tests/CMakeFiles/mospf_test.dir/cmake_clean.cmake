@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mospf_test.dir/protocols/mospf_test.cpp.o"
+  "CMakeFiles/mospf_test.dir/protocols/mospf_test.cpp.o.d"
+  "mospf_test"
+  "mospf_test.pdb"
+  "mospf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mospf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

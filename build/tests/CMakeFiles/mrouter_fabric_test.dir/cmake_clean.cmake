@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrouter_fabric_test.dir/fabric/mrouter_fabric_test.cpp.o"
+  "CMakeFiles/mrouter_fabric_test.dir/fabric/mrouter_fabric_test.cpp.o.d"
+  "mrouter_fabric_test"
+  "mrouter_fabric_test.pdb"
+  "mrouter_fabric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrouter_fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrouter_node_test.dir/core/mrouter_node_test.cpp.o"
+  "CMakeFiles/mrouter_node_test.dir/core/mrouter_node_test.cpp.o.d"
+  "mrouter_node_test"
+  "mrouter_node_test.pdb"
+  "mrouter_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrouter_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicast_tree_test.dir/graph/multicast_tree_test.cpp.o"
+  "CMakeFiles/multicast_tree_test.dir/graph/multicast_tree_test.cpp.o.d"
+  "multicast_tree_test"
+  "multicast_tree_test.pdb"
+  "multicast_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicast_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

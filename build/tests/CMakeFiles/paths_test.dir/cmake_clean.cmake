@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paths_test.dir/graph/paths_test.cpp.o"
+  "CMakeFiles/paths_test.dir/graph/paths_test.cpp.o.d"
+  "paths_test"
+  "paths_test.pdb"
+  "paths_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimsm_test.dir/protocols/pimsm_test.cpp.o"
+  "CMakeFiles/pimsm_test.dir/protocols/pimsm_test.cpp.o.d"
+  "pimsm_test"
+  "pimsm_test.pdb"
+  "pimsm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

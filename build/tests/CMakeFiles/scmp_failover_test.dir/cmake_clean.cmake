@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scmp_failover_test.dir/core/scmp_failover_test.cpp.o"
+  "CMakeFiles/scmp_failover_test.dir/core/scmp_failover_test.cpp.o.d"
+  "scmp_failover_test"
+  "scmp_failover_test.pdb"
+  "scmp_failover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scmp_failover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

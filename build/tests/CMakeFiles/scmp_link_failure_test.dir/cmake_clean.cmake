@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scmp_link_failure_test.dir/core/scmp_link_failure_test.cpp.o"
+  "CMakeFiles/scmp_link_failure_test.dir/core/scmp_link_failure_test.cpp.o.d"
+  "scmp_link_failure_test"
+  "scmp_link_failure_test.pdb"
+  "scmp_link_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scmp_link_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

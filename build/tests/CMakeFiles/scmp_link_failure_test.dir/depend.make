@@ -1,0 +1,2 @@
+# Empty dependencies file for scmp_link_failure_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scmp_multi_mrouter_test.dir/core/scmp_multi_mrouter_test.cpp.o"
+  "CMakeFiles/scmp_multi_mrouter_test.dir/core/scmp_multi_mrouter_test.cpp.o.d"
+  "scmp_multi_mrouter_test"
+  "scmp_multi_mrouter_test.pdb"
+  "scmp_multi_mrouter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scmp_multi_mrouter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

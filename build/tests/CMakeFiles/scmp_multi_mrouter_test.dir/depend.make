@@ -1,0 +1,2 @@
+# Empty dependencies file for scmp_multi_mrouter_test.
+# This may be replaced when dependencies are built.

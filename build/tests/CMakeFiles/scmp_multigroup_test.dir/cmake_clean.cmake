@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scmp_multigroup_test.dir/core/scmp_multigroup_test.cpp.o"
+  "CMakeFiles/scmp_multigroup_test.dir/core/scmp_multigroup_test.cpp.o.d"
+  "scmp_multigroup_test"
+  "scmp_multigroup_test.pdb"
+  "scmp_multigroup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scmp_multigroup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

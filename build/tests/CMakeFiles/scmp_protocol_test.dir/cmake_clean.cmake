@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scmp_protocol_test.dir/core/scmp_protocol_test.cpp.o"
+  "CMakeFiles/scmp_protocol_test.dir/core/scmp_protocol_test.cpp.o.d"
+  "scmp_protocol_test"
+  "scmp_protocol_test.pdb"
+  "scmp_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scmp_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

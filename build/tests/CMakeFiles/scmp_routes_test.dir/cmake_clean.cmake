@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scmp_routes_test.dir/core/scmp_routes_test.cpp.o"
+  "CMakeFiles/scmp_routes_test.dir/core/scmp_routes_test.cpp.o.d"
+  "scmp_routes_test"
+  "scmp_routes_test.pdb"
+  "scmp_routes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scmp_routes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

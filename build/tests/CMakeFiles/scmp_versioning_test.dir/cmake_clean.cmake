@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scmp_versioning_test.dir/core/scmp_versioning_test.cpp.o"
+  "CMakeFiles/scmp_versioning_test.dir/core/scmp_versioning_test.cpp.o.d"
+  "scmp_versioning_test"
+  "scmp_versioning_test.pdb"
+  "scmp_versioning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scmp_versioning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

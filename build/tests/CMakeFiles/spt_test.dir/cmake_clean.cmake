@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spt_test.dir/graph/spt_test.cpp.o"
+  "CMakeFiles/spt_test.dir/graph/spt_test.cpp.o.d"
+  "spt_test"
+  "spt_test.pdb"
+  "spt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steiner_test.dir/graph/steiner_test.cpp.o"
+  "CMakeFiles/steiner_test.dir/graph/steiner_test.cpp.o.d"
+  "steiner_test"
+  "steiner_test.pdb"
+  "steiner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steiner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_packet_test.dir/core/tree_packet_test.cpp.o"
+  "CMakeFiles/tree_packet_test.dir/core/tree_packet_test.cpp.o.d"
+  "tree_packet_test"
+  "tree_packet_test.pdb"
+  "tree_packet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_packet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

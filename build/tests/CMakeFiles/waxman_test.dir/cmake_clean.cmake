@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waxman_test.dir/topo/waxman_test.cpp.o"
+  "CMakeFiles/waxman_test.dir/topo/waxman_test.cpp.o.d"
+  "waxman_test"
+  "waxman_test.pdb"
+  "waxman_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waxman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
