@@ -1,0 +1,43 @@
+# Sanitizer toggles for the SCMP build.
+#
+# SCMP_SANITIZE selects an instrumentation profile for every target in the
+# tree (libraries, tests, benches, examples). Profiles:
+#
+#   OFF       - no instrumentation (default)
+#   asan+ubsan - AddressSanitizer + UndefinedBehaviorSanitizer
+#   tsan      - ThreadSanitizer (mutually exclusive with asan)
+#
+# The flags must be applied to both compile and link steps, and to every
+# translation unit in the program, so this module appends to the global
+# option lists and is included before any add_subdirectory().
+
+set(SCMP_SANITIZE "OFF" CACHE STRING
+    "Sanitizer profile: OFF, asan+ubsan, or tsan")
+set_property(CACHE SCMP_SANITIZE PROPERTY STRINGS OFF asan+ubsan tsan)
+
+option(SCMP_WERROR "Treat compiler warnings as errors" OFF)
+
+if(SCMP_SANITIZE STREQUAL "asan+ubsan")
+  set(_scmp_san_flags
+      -fsanitize=address,undefined
+      -fno-sanitize-recover=all
+      -fno-omit-frame-pointer)
+elseif(SCMP_SANITIZE STREQUAL "tsan")
+  set(_scmp_san_flags
+      -fsanitize=thread
+      -fno-omit-frame-pointer)
+elseif(NOT SCMP_SANITIZE STREQUAL "OFF")
+  message(FATAL_ERROR
+      "Unknown SCMP_SANITIZE value '${SCMP_SANITIZE}' "
+      "(expected OFF, asan+ubsan, or tsan)")
+endif()
+
+if(DEFINED _scmp_san_flags)
+  add_compile_options(${_scmp_san_flags} -g)
+  add_link_options(${_scmp_san_flags})
+  message(STATUS "SCMP sanitizers enabled: ${SCMP_SANITIZE}")
+endif()
+
+if(SCMP_WERROR)
+  add_compile_options(-Werror)
+endif()

@@ -46,6 +46,11 @@ std::map<GroupId, DcdmTree> TreeComputePool::build_trees(
     graph::NodeId root, const std::vector<GroupMembership>& groups,
     const DcdmConfig& cfg) const {
   SCMP_EXPECTS(g_->valid(root));
+  for (const GroupMembership& gm : groups) {
+    SCMP_EXPECTS(gm.group >= 0);
+    SCMP_EXPECTS(!gm.join_order.empty());
+    for (graph::NodeId member : gm.join_order) SCMP_EXPECTS(g_->valid(member));
+  }
 
   // Build into an index-addressed vector of slots, then move into the map:
   // workers never touch shared structures.

@@ -5,6 +5,7 @@
 #include "protocols/dvmrp.hpp"
 #include "protocols/mospf.hpp"
 #include "protocols/pimsm.hpp"
+#include "util/contracts.hpp"
 
 namespace scmp::core {
 
@@ -21,6 +22,8 @@ const char* to_string(ProtocolKind kind) {
 
 ScenarioHarness::ScenarioHarness(ProtocolKind kind, const graph::Graph& g,
                                  const ScenarioConfig& cfg) {
+  SCMP_EXPECTS(g.valid(cfg.mrouter));
+  SCMP_EXPECTS(cfg.group >= 0);
   network_ = std::make_unique<sim::Network>(g, queue_);
   igmp_ = std::make_unique<igmp::IgmpDomain>(queue_, g.num_nodes());
   switch (kind) {

@@ -345,6 +345,13 @@ void Scmp::rebuild_trees(const std::vector<GroupId>& groups,
       GroupMembership gm;
       gm.group = group;
       const auto& members = db_.members_of(group);
+      if (members.empty()) {
+        // A memberless session (everyone left, idle expiry pending) rebuilds
+        // to the bare root; build_trees requires a non-empty snapshot.
+        rebuilt.emplace(group, DcdmTree(net().graph(), paths_,
+                                        mrouter_of(group), cfg_.dcdm));
+        continue;
+      }
       gm.join_order.assign(members.begin(), members.end());
       jobs_by_root[mrouter_of(group)].push_back(std::move(gm));
     }

@@ -35,6 +35,7 @@ void BenesNetwork::route(const std::vector<int>& perm) {
 
 void BenesNetwork::route_parallel(const std::vector<int>& perm,
                                   int parallel_depth) {
+  SCMP_EXPECTS(parallel_depth >= 0);
   route_impl(perm, parallel_depth);
 }
 

@@ -1,10 +1,13 @@
 #include "protocols/multicast_protocol.hpp"
 
+#include "util/contracts.hpp"
+
 namespace scmp::proto {
 
 MulticastProtocol::MulticastProtocol(sim::Network& net, igmp::IgmpDomain& igmp)
     : net_(&net), igmp_(&igmp) {
   const int n = net.graph().num_nodes();
+  SCMP_EXPECTS(n > 0);
   adapters_.reserve(static_cast<std::size_t>(n));
   for (graph::NodeId v = 0; v < n; ++v) {
     auto adapter = std::make_unique<NodeAdapter>();

@@ -7,15 +7,21 @@ namespace scmp::sim {
 void EventQueue::schedule_at(SimTime t, Handler fn) {
   SCMP_EXPECTS(t >= now_);
   SCMP_EXPECTS(fn != nullptr);
-  heap_.push(Event{t, next_seq_++, std::move(fn)});
+  heap_.push_back(Event{t, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+EventQueue::Event EventQueue::pop_earliest() {
+  SCMP_EXPECTS(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  return ev;
 }
 
 bool EventQueue::run_next() {
   if (heap_.empty()) return false;
-  // priority_queue::top() is const; the handler is moved out via const_cast,
-  // which is safe because the element is popped immediately afterwards.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
+  Event ev = pop_earliest();
   SCMP_ASSERT(ev.time >= now_);
   now_ = ev.time;
   ev.fn();
@@ -24,7 +30,7 @@ bool EventQueue::run_next() {
 
 void EventQueue::run_until(SimTime t) {
   SCMP_EXPECTS(t >= now_);
-  while (!heap_.empty() && heap_.top().time <= t) run_next();
+  while (!heap_.empty() && heap_.front().time <= t) run_next();
   now_ = t;
 }
 

@@ -3,9 +3,9 @@
 // number breaks ties), which keeps every simulation fully deterministic.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "util/contracts.hpp"
@@ -55,7 +55,13 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  /// Pops the earliest event and returns it by value. Requires !empty().
+  Event pop_earliest();
+
+  // Min-heap over `Later` maintained with std::push_heap/std::pop_heap
+  // (rather than std::priority_queue, whose const top() cannot release an
+  // element without a const_cast).
+  std::vector<Event> heap_;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
 };

@@ -1,21 +1,33 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+
+#include "util/contracts.hpp"
 
 namespace scmp {
 
 namespace {
-LogLevel g_level = LogLevel::kOff;
+// Relaxed ordering suffices: the level is a filtering hint, not a
+// synchronisation point — a logging thread may observe a level change
+// slightly late, but never tears or races.
+std::atomic<LogLevel> g_level{LogLevel::kOff};
 }  // namespace
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  SCMP_EXPECTS(level >= LogLevel::kOff && level <= LogLevel::kTrace);
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 void log_line(LogLevel level, const std::string& msg) {
   static constexpr const char* kNames[] = {"off", "error", "info", "debug",
                                            "trace"};
-  std::fprintf(stderr, "[%s] %s\n", kNames[static_cast<int>(level)],
+  SCMP_EXPECTS(level >= LogLevel::kOff && level <= LogLevel::kTrace);
+  // A single fprintf call per line: POSIX stdio streams are locked per call,
+  // so concurrent log lines interleave whole, never mid-line.
+  std::fprintf(stderr, "[%s] %s\n", kNames[static_cast<std::size_t>(level)],
                msg.c_str());
 }
 

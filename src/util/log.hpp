@@ -3,14 +3,16 @@
 #pragma once
 
 #include <sstream>
-#include <utility>
 #include <string>
+#include <utility>
 
 namespace scmp {
 
 enum class LogLevel { kOff = 0, kError, kInfo, kDebug, kTrace };
 
-/// Process-wide log level (single-threaded simulator; no atomics needed).
+/// Process-wide log level. Reads and writes are atomic (relaxed), so worker
+/// threads (compute pool, fabric routing) may log concurrently with a level
+/// change without a data race.
 LogLevel log_level();
 void set_log_level(LogLevel level);
 

@@ -1,0 +1,124 @@
+// ThreadSanitizer-targeted stress tests for TreeComputePool. The pool's
+// determinism claim (bit-identical trees for any thread count) only holds if
+// workers share nothing mutable; these tests hammer the pool hard enough
+// that an introduced race is near-certain to trip TSan, and assert the
+// determinism contract directly by comparing structural digests.
+#include "core/compute_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "helpers.hpp"
+
+namespace scmp::core {
+namespace {
+
+std::vector<GroupMembership> make_groups(const graph::Graph& g, int count,
+                                         std::uint64_t seed) {
+  std::vector<GroupMembership> groups;
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    GroupMembership gm;
+    gm.group = i + 1;
+    const int size = static_cast<int>(rng.uniform_int(2, 10));
+    for (int v : rng.sample_without_replacement(g.num_nodes() - 1, size))
+      gm.join_order.push_back(v + 1);
+    groups.push_back(std::move(gm));
+  }
+  return groups;
+}
+
+/// FNV-1a over every tree's full structure: parent pointers, membership
+/// flags and on-tree sets. Any divergence between runs changes the digest.
+std::uint64_t structural_digest(const std::map<GroupId, DcdmTree>& trees,
+                                const graph::Graph& g) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const auto& [group, tree] : trees) {
+    mix(static_cast<std::uint64_t>(group));
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (!tree.tree().on_tree(v)) continue;
+      mix(static_cast<std::uint64_t>(v) * 3 + 1);
+      mix(static_cast<std::uint64_t>(tree.tree().parent(v)) * 3 + 2);
+      mix(tree.tree().is_member(v) ? 7 : 11);
+    }
+  }
+  return h;
+}
+
+TEST(ComputePoolRace, BitIdenticalDigestAcrossThreadCounts) {
+  const auto topo = test::random_topology(31, 24);
+  const graph::Graph& g = topo.graph;
+  const graph::AllPairsPaths paths(g);
+  const auto groups = make_groups(g, 12, 17);
+  const DcdmConfig cfg{1.5};
+
+  const TreeComputePool serial(g, paths, 1);
+  const std::uint64_t expected =
+      structural_digest(serial.build_trees(0, groups, cfg), g);
+
+  for (int round = 0; round < 3; ++round) {
+    for (int threads : {2, 3, 4, 8}) {
+      const TreeComputePool pool(g, paths, threads);
+      const auto trees = pool.build_trees(0, groups, cfg);
+      EXPECT_EQ(structural_digest(trees, g), expected)
+          << "threads=" << threads << " round=" << round;
+    }
+  }
+}
+
+TEST(ComputePoolRace, ConcurrentBuildTreesOnSharedPool) {
+  // build_trees is const; several simulation drivers may share one pool.
+  // Every caller must get the same digest, and TSan must stay silent.
+  const auto topo = test::random_topology(32, 24);
+  const graph::Graph& g = topo.graph;
+  const graph::AllPairsPaths paths(g);
+  const auto groups = make_groups(g, 10, 23);
+  const DcdmConfig cfg{2.0};
+
+  const TreeComputePool pool(g, paths, 4);
+  const std::uint64_t expected =
+      structural_digest(pool.build_trees(0, groups, cfg), g);
+
+  constexpr int kCallers = 4;
+  std::vector<std::uint64_t> digests(kCallers, 0);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      digests[static_cast<std::size_t>(c)] =
+          structural_digest(pool.build_trees(0, groups, cfg), g);
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (std::uint64_t d : digests) EXPECT_EQ(d, expected);
+}
+
+TEST(ComputePoolRace, ForEachIndexHammered) {
+  // Repeated wide fan-out with per-index slots: workers write disjoint
+  // entries, the driver reads them after the implicit join. A lost write,
+  // double dispatch, or missing join shows up as a wrong sum or a TSan race.
+  const auto topo = test::random_topology(33, 16);
+  const graph::AllPairsPaths paths(topo.graph);
+  const TreeComputePool pool(topo.graph, paths, 8);
+
+  constexpr std::size_t kIndices = 96;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::uint64_t> slots(kIndices, 0);
+    pool.for_each_index(kIndices, [&](std::size_t i) {
+      slots[i] = static_cast<std::uint64_t>(i) + 1;
+    });
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : slots) sum += v;
+    ASSERT_EQ(sum, kIndices * (kIndices + 1) / 2) << "round=" << round;
+  }
+}
+
+}  // namespace
+}  // namespace scmp::core

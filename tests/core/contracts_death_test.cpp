@@ -1,0 +1,89 @@
+// Death tests pinning down the contract layer: invalid inputs to public API
+// entry points must abort through SCMP_EXPECTS/SCMP_ASSERT with a diagnostic
+// that names the violated condition, not crash later or silently misbehave.
+#include <gtest/gtest.h>
+
+#include "core/compute_pool.hpp"
+#include "core/dcdm.hpp"
+#include "sim/event_queue.hpp"
+#include "util/contracts.hpp"
+#include "util/log.hpp"
+
+#include "helpers.hpp"
+
+namespace scmp::core {
+namespace {
+
+class ContractsDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Fork-based death tests must not interact with running threads.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+TEST_F(ContractsDeathTest, DcdmConfigSlackBelowOneAborts) {
+  const auto g = test::diamond();
+  const graph::AllPairsPaths paths(g);
+  EXPECT_DEATH(DcdmTree(g, paths, 0, DcdmConfig{0.5}),
+               "Precondition violation.*delay_slack");
+}
+
+TEST_F(ContractsDeathTest, DcdmJoinInvalidNodeAborts) {
+  const auto g = test::diamond();
+  const graph::AllPairsPaths paths(g);
+  DcdmTree tree(g, paths, 0);
+  EXPECT_DEATH(tree.join(99), "Precondition violation");
+}
+
+TEST_F(ContractsDeathTest, BuildTreesEmptyJoinOrderAborts) {
+  const auto g = test::diamond();
+  const graph::AllPairsPaths paths(g);
+  const TreeComputePool pool(g, paths, 2);
+  GroupMembership empty_group;
+  empty_group.group = 1;  // valid id, but no members
+  EXPECT_DEATH(pool.build_trees(0, {empty_group}, DcdmConfig{}),
+               "Precondition violation.*join_order");
+}
+
+TEST_F(ContractsDeathTest, BuildTreesNegativeGroupIdAborts) {
+  const auto g = test::diamond();
+  const graph::AllPairsPaths paths(g);
+  const TreeComputePool pool(g, paths, 2);
+  GroupMembership bad;
+  bad.group = -7;
+  bad.join_order = {1};
+  EXPECT_DEATH(pool.build_trees(0, {bad}, DcdmConfig{}),
+               "Precondition violation.*group");
+}
+
+TEST_F(ContractsDeathTest, BuildTreesInvalidRootAborts) {
+  const auto g = test::diamond();
+  const graph::AllPairsPaths paths(g);
+  const TreeComputePool pool(g, paths, 2);
+  GroupMembership gm;
+  gm.group = 1;
+  gm.join_order = {1};
+  EXPECT_DEATH(pool.build_trees(-1, {gm}, DcdmConfig{}),
+               "Precondition violation.*root");
+}
+
+TEST_F(ContractsDeathTest, EventQueueSchedulingInThePastAborts) {
+  sim::EventQueue q;
+  q.schedule_at(10.0, [] {});
+  q.run_until(10.0);
+  EXPECT_DEATH(q.schedule_at(5.0, [] {}), "Precondition violation.*now_");
+}
+
+TEST_F(ContractsDeathTest, EventQueueNullHandlerAborts) {
+  sim::EventQueue q;
+  EXPECT_DEATH(q.schedule_at(1.0, nullptr), "Precondition violation.*fn");
+}
+
+TEST_F(ContractsDeathTest, LogLevelOutOfRangeAborts) {
+  EXPECT_DEATH(set_log_level(static_cast<LogLevel>(42)),
+               "Precondition violation.*level");
+}
+
+}  // namespace
+}  // namespace scmp::core

@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules clang-tidy cannot express.
+
+Rules (each failure prints ``file:line: rule-id: message``):
+
+  contracts        every src/**/*.cpp translation unit guards its public
+                   entry points with SCMP_EXPECTS/SCMP_ENSURES/SCMP_ASSERT
+                   (files with genuinely precondition-free APIs are
+                   allowlisted below, with justification).
+  include-paths    quoted includes are src/-rooted module paths
+                   ("core/dcdm.hpp"), never relative ("../x.hpp") or bare
+                   filenames, and must resolve to a tracked file.
+  no-naked-new     no `new` / `delete` expressions in src/ — ownership goes
+                   through std::unique_ptr / containers.
+  no-raw-abort     std::abort/exit/_Exit only inside util/contracts.hpp;
+                   everything else fails through the contract macros so the
+                   diagnostic names the violated condition.
+  pragma-once      every header starts include-guarding with #pragma once.
+  header-using     no `using namespace` at namespace scope in headers.
+
+Usage: tools/lint.py [--root REPO_ROOT]
+Exits non-zero when any finding is reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Translation units whose public API has no checkable preconditions.
+NO_CONTRACT_OK = {
+    "src/sim/packet.cpp",   # enum-to-string formatters only
+    "src/sim/trace.cpp",    # passive recorder; accepts any packet stream
+}
+
+# Local convenience headers test/bench sources may include unqualified.
+LOCAL_INCLUDE_OK = {"helpers.hpp", "bench_common.hpp"}
+
+CONTRACT_RE = re.compile(r"\bSCMP_(EXPECTS|ENSURES|ASSERT)\s*\(")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+NEW_RE = re.compile(r"\bnew\b\s*(?:\(|\[|[A-Za-z_:<])")
+DELETE_RE = re.compile(r"(?<![=\w])\s*\bdelete\b\s*(?:\[\s*\])?\s*[A-Za-z_(*]")
+ABORT_RE = re.compile(r"\b(?:std\s*::\s*)?(abort|_Exit|quick_exit|exit)\s*\(")
+USING_NS_RE = re.compile(r"^\s*using\s+namespace\b")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments, string literals and char literals, preserving
+    line structure so reported line numbers stay accurate."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr | raw
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "R" and nxt == '"':
+                m = re.match(r'R"([^()\s]*)\(', text[i:])
+                if m:
+                    raw_delim = ")" + m.group(1) + '"'
+                    state = "raw"
+                    i += m.end()
+                    continue
+            if c == '"':
+                state = "str"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            elif c == "\n":  # unterminated; bail to keep line numbers sane
+                state = "code"
+                out.append(c)
+        elif state == "raw":
+            end = text.find(raw_delim, i)
+            if end == -1:
+                break
+            out.append("\n" * text.count("\n", i, end + len(raw_delim)))
+            i = end + len(raw_delim)
+            continue
+        i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, root: pathlib.Path):
+        self.root = root
+        self.findings: list[str] = []
+
+    def report(self, path: pathlib.Path, line: int, rule: str, msg: str):
+        rel = path.relative_to(self.root)
+        self.findings.append(f"{rel}:{line}: {rule}: {msg}")
+
+    # ---- rules -----------------------------------------------------------
+
+    def check_contracts(self, path: pathlib.Path, code: str):
+        rel = str(path.relative_to(self.root))
+        if rel in NO_CONTRACT_OK:
+            if CONTRACT_RE.search(code):
+                self.report(path, 1, "contracts",
+                            "file uses contracts; drop it from NO_CONTRACT_OK")
+            return
+        if not CONTRACT_RE.search(code):
+            self.report(
+                path, 1, "contracts",
+                "no SCMP_EXPECTS/SCMP_ENSURES/SCMP_ASSERT in this translation "
+                "unit; guard its public entry points (or allowlist it in "
+                "tools/lint.py with a justification)")
+
+    def check_includes(self, path: pathlib.Path, raw: str):
+        in_tests = "tests/" in str(path.relative_to(self.root)) or \
+                   "bench/" in str(path.relative_to(self.root))
+        for lineno, line in enumerate(raw.splitlines(), 1):
+            m = INCLUDE_RE.match(line)
+            if not m:
+                continue
+            inc = m.group(1)
+            if ".." in inc.split("/"):
+                self.report(path, lineno, "include-paths",
+                            f'relative include "{inc}"; use a src/-rooted '
+                            'module path')
+                continue
+            if inc in LOCAL_INCLUDE_OK and in_tests:
+                continue
+            if "/" not in inc:
+                self.report(path, lineno, "include-paths",
+                            f'bare include "{inc}"; use a src/-rooted module '
+                            'path like "core/dcdm.hpp"')
+                continue
+            if not (self.root / "src" / inc).is_file():
+                self.report(path, lineno, "include-paths",
+                            f'include "{inc}" does not resolve under src/')
+
+    def check_naked_new(self, path: pathlib.Path, code: str):
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if NEW_RE.search(line):
+                self.report(path, lineno, "no-naked-new",
+                            "`new` expression; use std::make_unique or a "
+                            "container")
+            if DELETE_RE.search(line):
+                self.report(path, lineno, "no-naked-new",
+                            "`delete` expression; ownership must be RAII")
+
+    def check_raw_abort(self, path: pathlib.Path, code: str):
+        if path.name == "contracts.hpp":
+            return
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = ABORT_RE.search(line)
+            if m:
+                self.report(path, lineno, "no-raw-abort",
+                            f"direct {m.group(1)}() call; fail through "
+                            "SCMP_EXPECTS/SCMP_ASSERT so the diagnostic names "
+                            "the condition")
+
+    def check_pragma_once(self, path: pathlib.Path, code: str):
+        for line in code.splitlines():
+            s = line.strip()
+            if not s:
+                continue
+            if s == "#pragma once":
+                return
+            self.report(path, 1, "pragma-once",
+                        "header must start with #pragma once")
+            return
+        # empty header: fine
+
+    def check_header_using(self, path: pathlib.Path, code: str):
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if USING_NS_RE.match(line):
+                self.report(path, lineno, "header-using",
+                            "`using namespace` in a header leaks into every "
+                            "includer")
+
+    # ---- driver ----------------------------------------------------------
+
+    def run(self) -> int:
+        src = self.root / "src"
+        all_dirs = [src, self.root / "tests", self.root / "bench",
+                    self.root / "examples"]
+        for d in all_dirs:
+            for path in sorted(d.rglob("*")):
+                if path.suffix not in (".cpp", ".hpp"):
+                    continue
+                raw = path.read_text(encoding="utf-8")
+                code = strip_comments_and_strings(raw)
+                self.check_includes(path, raw)
+                under_src = src in path.parents
+                if under_src:
+                    self.check_naked_new(path, code)
+                    self.check_raw_abort(path, code)
+                    if path.suffix == ".cpp":
+                        self.check_contracts(path, code)
+                if path.suffix == ".hpp":
+                    self.check_pragma_once(path, code)
+                    self.check_header_using(path, code)
+        for f in self.findings:
+            print(f)
+        if self.findings:
+            print(f"\ntools/lint.py: {len(self.findings)} finding(s)",
+                  file=sys.stderr)
+            return 1
+        print("tools/lint.py: clean")
+        return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=pathlib.Path(__file__).resolve().parent.parent,
+                    type=pathlib.Path, help="repository root")
+    args = ap.parse_args()
+    return Linter(args.root.resolve()).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
