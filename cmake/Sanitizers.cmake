@@ -16,6 +16,8 @@ set(SCMP_SANITIZE "OFF" CACHE STRING
 set_property(CACHE SCMP_SANITIZE PROPERTY STRINGS OFF asan+ubsan tsan)
 
 option(SCMP_WERROR "Treat compiler warnings as errors" OFF)
+option(SCMP_COVERAGE
+    "Instrument for line coverage (gcov); enables the `coverage` target" OFF)
 
 if(SCMP_SANITIZE STREQUAL "asan+ubsan")
   set(_scmp_san_flags
@@ -40,4 +42,14 @@ endif()
 
 if(SCMP_WERROR)
   add_compile_options(-Werror)
+endif()
+
+if(SCMP_COVERAGE)
+  if(NOT SCMP_SANITIZE STREQUAL "OFF")
+    message(FATAL_ERROR "SCMP_COVERAGE cannot combine with SCMP_SANITIZE")
+  endif()
+  # -O0 keeps line counts faithful to the source (no coalesced lines).
+  add_compile_options(--coverage -O0 -g)
+  add_link_options(--coverage)
+  message(STATUS "SCMP coverage instrumentation enabled")
 endif()

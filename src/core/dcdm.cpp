@@ -1,13 +1,30 @@
 #include "core/dcdm.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace scmp::core {
 
 DcdmTree::DcdmTree(const graph::Graph& g, const graph::AllPairsPaths& paths,
                    graph::NodeId root, DcdmConfig cfg)
-    : g_(&g), paths_(&paths), cfg_(cfg), tree_(root, g.num_nodes()) {
+    : g_(&g),
+      paths_(&paths),
+      cfg_(cfg),
+      tree_(root, g.num_nodes()),
+      admitted_bound_(static_cast<std::size_t>(g.num_nodes()),
+                      std::numeric_limits<double>::quiet_NaN()) {
   SCMP_EXPECTS(cfg.delay_slack >= 1.0);
+}
+
+double DcdmTree::admitted_bound(graph::NodeId m) const {
+  SCMP_EXPECTS(tree_.is_member(m));
+  const double b = admitted_bound_[static_cast<std::size_t>(m)];
+  SCMP_ASSERT(!std::isnan(b));
+  return b;
+}
+
+void DcdmTree::record_admission(graph::NodeId m, double bound) {
+  admitted_bound_[static_cast<std::size_t>(m)] = bound;
 }
 
 double DcdmTree::unicast_delay(graph::NodeId v) const {
@@ -29,8 +46,11 @@ JoinResult DcdmTree::join(graph::NodeId s) {
   result.is_new_member = true;
   if (tree_.on_tree(s)) {
     // s is already a relay on the tree: membership flips, topology unchanged.
+    // Its existing path is feasible by construction (every relay lies on a
+    // member's admitted path), so it is admitted at the current bound.
     result.already_on_tree = true;
     tree_.set_member(s, true);
+    record_admission(s, delay_bound_for(s));
     return result;
   }
 
@@ -70,7 +90,9 @@ JoinResult DcdmTree::join(graph::NodeId s) {
   // (ml = ul(s) <= slack * max_ul <= bound), so a candidate must exist.
   SCMP_ASSERT(have_best);
 
-  // Snapshot parents to detect loop-elimination restructuring.
+  // Snapshot parents to detect loop-elimination restructuring, and member
+  // delays so restructure-moved members can be re-admitted at their new
+  // multicast delay.
   std::vector<graph::NodeId> old_parent(
       static_cast<std::size_t>(g_->num_nodes()), graph::kInvalidNode);
   std::vector<char> was_on_tree(static_cast<std::size_t>(g_->num_nodes()), 0);
@@ -78,9 +100,20 @@ JoinResult DcdmTree::join(graph::NodeId s) {
     was_on_tree[static_cast<std::size_t>(v)] = 1;
     old_parent[static_cast<std::size_t>(v)] = tree_.parent(v);
   }
+  std::vector<std::pair<graph::NodeId, double>> old_member_delay;
+  for (graph::NodeId m : tree_.members())
+    old_member_delay.emplace_back(m, tree_.node_delay(*g_, m));
 
   tree_.graft_path(best.path);
   tree_.set_member(s, true);
+  record_admission(s, bound);
+  for (const auto& [m, before] : old_member_delay) {
+    const double after = tree_.node_delay(*g_, m);
+    if (after != before) {
+      record_admission(
+          m, std::max(admitted_bound_[static_cast<std::size_t>(m)], after));
+    }
+  }
   result.graft_path = std::move(best.path);
 
   for (graph::NodeId v = 0; v < g_->num_nodes(); ++v) {
@@ -102,6 +135,8 @@ LeaveResult DcdmTree::leave(graph::NodeId s) {
   if (!tree_.is_member(s)) return result;
   result.was_member = true;
   tree_.set_member(s, false);
+  admitted_bound_[static_cast<std::size_t>(s)] =
+      std::numeric_limits<double>::quiet_NaN();
 
   std::vector<char> was_on_tree(static_cast<std::size_t>(g_->num_nodes()), 0);
   for (graph::NodeId v : tree_.on_tree_nodes())

@@ -63,14 +63,28 @@ class DcdmTree {
   /// Current delay bound the next join must respect.
   double delay_bound_for(graph::NodeId joining) const;
 
+  /// The delay bound `m` was admitted under: the bound in force at its join,
+  /// raised to its new multicast delay whenever a later loop-eliminating
+  /// restructure re-parents its root path (the dynamic rule's bound grows
+  /// with the tree delay, so a restructure re-admits the members it moves).
+  /// This is the per-member constraint the verification auditor holds every
+  /// tree mutation to. Requires `m` to be a current member.
+  double admitted_bound(graph::NodeId m) const;
+
   double tree_cost() const { return tree_.tree_cost(*g_); }
   double tree_delay() const { return tree_.tree_delay(*g_); }
 
  private:
+  /// Records `m` as admitted under `bound`; raises stale records of members
+  /// whose delay a restructure changed.
+  void record_admission(graph::NodeId m, double bound);
+
   const graph::Graph* g_;
   const graph::AllPairsPaths* paths_;
   DcdmConfig cfg_;
   graph::MulticastTree tree_;
+  /// Per-member admitted bound (see admitted_bound); unused slots hold NaN.
+  std::vector<double> admitted_bound_;
 };
 
 }  // namespace scmp::core

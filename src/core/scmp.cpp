@@ -53,6 +53,13 @@ std::vector<GroupId> Scmp::active_groups() const {
   return out;
 }
 
+std::vector<GroupId> Scmp::groups_with_installed_state() const {
+  std::set<GroupId> seen;
+  for (const auto& groups : entries_)
+    for (const auto& [group, entry] : groups) seen.insert(group);
+  return {seen.begin(), seen.end()};
+}
+
 std::set<graph::NodeId> Scmp::senders_of(GroupId group) const {
   const auto it = senders_.find(group);
   return it == senders_.end() ? std::set<graph::NodeId>{} : it->second;

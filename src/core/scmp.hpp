@@ -114,6 +114,11 @@ class Scmp final : public proto::MulticastProtocol {
   /// Groups with a live session at the m-routers.
   std::vector<GroupId> active_groups() const;
 
+  /// Groups any i-router still holds an installed Entry for — a superset of
+  /// active_groups() only when stale state leaked. The verification
+  /// auditor's orphan-state invariant diffs the two (src/verify).
+  std::vector<GroupId> groups_with_installed_state() const;
+
   /// Distinct source routers the anchoring m-router has seen data from, per
   /// group (drives the switching fabric's input-port assignment).
   std::set<graph::NodeId> senders_of(GroupId group) const;

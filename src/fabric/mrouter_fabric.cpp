@@ -115,6 +115,13 @@ int MRouterFabric::output_port(int group) const {
   return it->second;
 }
 
+std::vector<int> MRouterFabric::configured_groups() const {
+  std::vector<int> groups;
+  groups.reserve(group_output_.size());
+  for (const auto& [group, port] : group_output_) groups.push_back(group);
+  return groups;
+}
+
 int MRouterFabric::group_of_input(int input_port) const {
   SCMP_EXPECTS(input_port >= 0 && input_port < ports_);
   return input_group_[static_cast<std::size_t>(input_port)];

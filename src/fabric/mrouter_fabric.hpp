@@ -39,6 +39,9 @@ class MRouterFabric {
   /// Output port assigned to a group in the current configuration.
   int output_port(int group) const;
 
+  /// Groups present in the current configuration, ascending.
+  std::vector<int> configured_groups() const;
+
   /// Group a configured input port belongs to, or -1.
   int group_of_input(int input_port) const;
 

@@ -1,6 +1,7 @@
 #include "protocols/cbt.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "util/log.hpp"
 
@@ -175,6 +176,52 @@ void Cbt::handle_quit(graph::NodeId at, const sim::Packet& pkt,
   if (e == nullptr) return;
   e->downstream.erase(from);
   maybe_quit(at, pkt.group);
+}
+
+void Cbt::audit_state(std::vector<std::string>& violations) const {
+  const int n = net().graph().num_nodes();
+  auto note = [&](GroupId group, const std::string& what) {
+    violations.push_back("CBT g" + std::to_string(group) + ": " + what);
+  };
+  for (const auto& [group, core] : cores_) {
+    if (core_failed(group)) continue;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      const Entry* e = entry(v, group);
+      if (e == nullptr) {
+        if (router_is_member(v, group) && v != core)
+          note(group, "member router " + std::to_string(v) + " is off-tree");
+        continue;
+      }
+      if (v != core && e->upstream == graph::kInvalidNode) {
+        note(group, "router " + std::to_string(v) + " has no upstream");
+      } else if (v != core) {
+        const Entry* up = entry(e->upstream, group);
+        if (up == nullptr || !up->downstream.contains(v))
+          note(group, "upstream " + std::to_string(e->upstream) +
+                          " does not list " + std::to_string(v) +
+                          " as downstream");
+      }
+      for (graph::NodeId d : e->downstream) {
+        const Entry* down = entry(d, group);
+        if (down == nullptr || down->upstream != v)
+          note(group, "downstream " + std::to_string(d) + " of " +
+                          std::to_string(v) + " lacks the reverse edge");
+      }
+      if (e->downstream.empty() && v != core && !router_is_member(v, group))
+        note(group, "memberless leaf state at " + std::to_string(v));
+      // Acyclicity: the upstream chain must reach the core within n hops.
+      graph::NodeId walk = v;
+      int hops = 0;
+      while (walk != core && walk != graph::kInvalidNode && hops <= n) {
+        const Entry* w = entry(walk, group);
+        walk = w == nullptr ? graph::kInvalidNode : w->upstream;
+        ++hops;
+      }
+      if (hops > n)
+        note(group,
+             "upstream chain from " + std::to_string(v) + " never ends");
+    }
+  }
 }
 
 void Cbt::send_data(graph::NodeId source, GroupId group) {

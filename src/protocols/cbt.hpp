@@ -43,6 +43,13 @@ class Cbt final : public MulticastProtocol {
   void interface_left(graph::NodeId router, GroupId group, int iface,
                       bool last_iface) override;
 
+  /// CBT's hard-state invariants at quiescence: upstream/downstream edge
+  /// symmetry, acyclic upstream chains anchored at the core, no memberless
+  /// leaf state, and every member router on the tree. Groups whose core
+  /// failed are skipped — with the core dead, joins stall mid-flight by
+  /// design and the state is legitimately inconsistent.
+  void audit_state(std::vector<std::string>& violations) const override;
+
   // Introspection for tests.
   bool on_tree(graph::NodeId router, GroupId group) const;
   graph::NodeId upstream_of(graph::NodeId router, GroupId group) const;

@@ -25,6 +25,11 @@ MulticastProtocol::~MulticastProtocol() {
     net_->attach(v, nullptr);
 }
 
+void MulticastProtocol::audit_state(
+    std::vector<std::string>& violations) const {
+  (void)violations;  // nothing to check by default
+}
+
 void MulticastProtocol::host_join(graph::NodeId router, GroupId group,
                                   int iface, int host) {
   igmp_->host_join(router, iface, host, group);

@@ -44,6 +44,16 @@ class MulticastProtocol : public igmp::MembershipListener {
   /// through its RPF checks; CBT has no repair mechanism in this model).
   virtual void on_topology_change() {}
 
+  /// Hard-state self-check, the attachment point of the invariant auditor in
+  /// src/verify: appends one human-readable line per violated internal-state
+  /// invariant (upstream/downstream symmetry, acyclicity, ...). Only
+  /// meaningful at a quiescent instant — with control packets in flight the
+  /// distributed state is legitimately mid-transition. The default reports
+  /// nothing (soft-state protocols have no hard invariants to cross-check);
+  /// SCMP's full catalog lives in verify::InvariantAuditor instead, which
+  /// inspects the m-router's authoritative tree directly.
+  virtual void audit_state(std::vector<std::string>& violations) const;
+
   /// Convenience wrappers for harnesses: a single host on iface 0.
   void host_join(graph::NodeId router, GroupId group, int iface = 0,
                  int host = 0);

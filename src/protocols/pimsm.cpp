@@ -60,6 +60,88 @@ bool PimSm::has_spt_state(graph::NodeId router, GroupId group,
   return spt(router, group, source) != nullptr;
 }
 
+void PimSm::audit_state(std::vector<std::string>& violations) const {
+  const int n = net().graph().num_nodes();
+  auto note = [&](GroupId group, const std::string& what) {
+    violations.push_back("PIM-SM g" + std::to_string(group) + ": " + what);
+  };
+  for (const auto& [group, rp] : rps_) {
+    for (graph::NodeId v = 0; v < n; ++v) {
+      const RptEntry* e = rpt(v, group);
+      if (e == nullptr) {
+        if (router_is_member(v, group) && v != rp)
+          note(group, "member router " + std::to_string(v) +
+                          " is off the RP tree");
+        continue;
+      }
+      if (v != rp) {
+        if (e->upstream == graph::kInvalidNode) {
+          note(group, "(*,G) at " + std::to_string(v) + " has no upstream");
+        } else {
+          const RptEntry* up = rpt(e->upstream, group);
+          if (up == nullptr || !up->downstream.contains(v))
+            note(group, "(*,G) upstream " + std::to_string(e->upstream) +
+                            " does not list " + std::to_string(v));
+        }
+        if (e->downstream.empty() && !router_is_member(v, group))
+          note(group, "memberless (*,G) leaf at " + std::to_string(v));
+      }
+      for (graph::NodeId d : e->downstream) {
+        const RptEntry* down = rpt(d, group);
+        if (down == nullptr || down->upstream != v)
+          note(group, "(*,G) downstream " + std::to_string(d) + " of " +
+                          std::to_string(v) + " lacks the reverse edge");
+      }
+      for (const auto& [source, kids] : e->rpt_pruned) {
+        for (graph::NodeId k : kids) {
+          if (!e->downstream.contains(k))
+            note(group, "(S,G,rpt) prune by non-child " + std::to_string(k) +
+                            " at " + std::to_string(v));
+        }
+      }
+      // Acyclicity: the (*,G) upstream chain must reach the RP in <= n hops.
+      graph::NodeId walk = v;
+      int hops = 0;
+      while (walk != rp && walk != graph::kInvalidNode && hops <= n) {
+        const RptEntry* w = rpt(walk, group);
+        walk = w == nullptr ? graph::kInvalidNode : w->upstream;
+        ++hops;
+      }
+      if (hops > n)
+        note(group, "(*,G) upstream chain from " + std::to_string(v) +
+                        " never reaches the RP");
+    }
+  }
+  // (S,G) source trees.
+  for (graph::NodeId v = 0; v < n; ++v) {
+    for (const auto& [key, e] : spt_state_[static_cast<std::size_t>(v)]) {
+      const auto& [group, source] = key;
+      if (v != source) {
+        if (e.upstream == graph::kInvalidNode) {
+          note(group, "(S,G) at " + std::to_string(v) + " for source " +
+                          std::to_string(source) + " has no upstream");
+        } else {
+          const SptEntry* up = spt(e.upstream, group, source);
+          if (up == nullptr || !up->downstream.contains(v))
+            note(group, "(S,G) upstream " + std::to_string(e.upstream) +
+                            " does not list " + std::to_string(v));
+        }
+        if (e.downstream.empty() &&
+            !(router_is_member(v, group) &&
+              switched_[static_cast<std::size_t>(v)].contains(key)))
+          note(group, "useless (S,G) leaf at " + std::to_string(v) +
+                          " for source " + std::to_string(source));
+      }
+      for (graph::NodeId d : e.downstream) {
+        const SptEntry* down = spt(d, group, source);
+        if (down == nullptr || down->upstream != v)
+          note(group, "(S,G) downstream " + std::to_string(d) + " of " +
+                          std::to_string(v) + " lacks the reverse edge");
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Joins.
 // ---------------------------------------------------------------------------

@@ -44,6 +44,12 @@ class PimSm final : public MulticastProtocol {
   void interface_left(graph::NodeId router, GroupId group, int iface,
                       bool last_iface) override;
 
+  /// PIM-SM's hard-state invariants at quiescence: (*,G) and (S,G)
+  /// upstream/downstream symmetry, upstream chains that terminate at the RP
+  /// (resp. the source), (S,G,rpt) prunes only against actual children, no
+  /// memberless leaf state, and every member router on the RP tree.
+  void audit_state(std::vector<std::string>& violations) const override;
+
   // Introspection for tests.
   bool on_rp_tree(graph::NodeId router, GroupId group) const;
   bool has_spt_state(graph::NodeId router, GroupId group,

@@ -117,6 +117,13 @@ void Network::transmit(graph::NodeId from, graph::NodeId to, Packet pkt,
     return;
   }
 
+  // Injected loss (verification fault model) happens at the egress interface,
+  // before the packet consumes any link resources.
+  if (drop_filter_ && drop_filter_(from, to, pkt)) {
+    ++stats_.injected_drops;
+    return;
+  }
+
   // Overhead accounting: every link crossing contributes the link's cost
   // (paper §IV-B definition of data/protocol overhead).
   if (pkt.is_data()) {

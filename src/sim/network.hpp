@@ -36,6 +36,9 @@ struct NetStats {
   /// Packets dropped because a finite egress queue overflowed (the paper's
   /// §I traffic-concentration failure mode).
   std::uint64_t queue_drops = 0;
+  /// Packets dropped by an installed fault-injection filter
+  /// (Network::set_drop_filter; the verification harness's loss model).
+  std::uint64_t injected_drops = 0;
 };
 
 class Network {
@@ -87,6 +90,15 @@ class Network {
   using DeliveryCallback =
       std::function<void(const Packet&, graph::NodeId member, SimTime at)>;
   void set_delivery_callback(DeliveryCallback cb) { on_delivery_ = std::move(cb); }
+
+  /// Fault injection for the verification harness (src/verify): when set, a
+  /// packet the filter returns true for is dropped at the sender's egress —
+  /// before any overhead accounting — and counted in stats().injected_drops.
+  /// This models lossy links and lets the churn model-checker build protocol
+  /// mutants (e.g. "every PRUNE is lost") without touching protocol code.
+  using DropFilter = std::function<bool(graph::NodeId from, graph::NodeId to,
+                                        const Packet&)>;
+  void set_drop_filter(DropFilter filter) { drop_filter_ = std::move(filter); }
 
   /// Optional structured trace of every link transmission (for debugging and
   /// trace-driven analysis); called at send time.
@@ -161,6 +173,7 @@ class Network {
   std::uint64_t uid_counter_ = 0;
   DeliveryCallback on_delivery_;
   TransmitCallback on_transmit_;
+  DropFilter drop_filter_;
 };
 
 }  // namespace scmp::sim

@@ -31,6 +31,12 @@ std::string concat(Args&&... args) {
 }  // namespace detail
 
 template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() >= LogLevel::kError)
+    log_line(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
 void log_info(Args&&... args) {
   if (log_level() >= LogLevel::kInfo)
     log_line(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));

@@ -1,0 +1,43 @@
+// The invariant auditor: attaches to any MulticastProtocol instance (plus,
+// optionally, an m-router switching fabric) and re-validates the full
+// invariant catalog on demand — the churn model-checker calls audit() after
+// every simulation event. For an Scmp instance the auditor snapshots the
+// distributed state and runs the catalog of invariants.hpp; for every
+// protocol it also collects the protocol's own audit_state() self-check.
+//
+// Audits are only meaningful at a quiescent instant (event queue drained):
+// with control packets in flight the distributed state is legitimately
+// mid-transition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "verify/invariants.hpp"
+
+namespace scmp::verify {
+
+class InvariantAuditor {
+ public:
+  /// Attaches to `protocol` (must outlive the auditor). When `fabric` is
+  /// given, its configuration is audited too (invariant class 5).
+  explicit InvariantAuditor(const proto::MulticastProtocol& protocol,
+                            const fabric::MRouterFabric* fabric = nullptr);
+
+  /// Runs every applicable invariant once; returns all violations found.
+  std::vector<Violation> audit() const;
+
+  /// audit() that dies with the formatted violations on any finding — the
+  /// assert-style entry point tests and the model-checker use.
+  void audit_or_die() const;
+
+  /// Total audit() calls so far (model-checker statistics).
+  std::uint64_t audits_run() const { return audits_; }
+
+ private:
+  const proto::MulticastProtocol* protocol_;
+  const fabric::MRouterFabric* fabric_;
+  mutable std::uint64_t audits_ = 0;
+};
+
+}  // namespace scmp::verify

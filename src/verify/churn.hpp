@@ -1,0 +1,111 @@
+// Deterministic churn model-checker (the ISSUE's tentpole driver): explores
+// a seeded random interleaving of JOIN / LEAVE / SEND / link-failure events
+// against a fresh SCMP world, draining the event queue to quiescence after
+// every event and re-validating the full invariant catalog. On a violation
+// the failing event sequence is shrunk with delta debugging (ddmin) to a
+// minimal reproducing trace, which serialises to a replayable text artifact.
+//
+// Everything is deterministic by construction: the topology and the event
+// sequence derive from explicit seeds through the repo's portable Rng, and
+// replay() rebuilds the world from scratch for any (sub)sequence — which is
+// exactly what makes ddmin's subset replays and the dumped artifacts
+// trustworthy reproducers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/packet.hpp"
+#include "verify/auditor.hpp"
+
+namespace scmp::verify {
+
+enum class ChurnEventType { kJoin, kLeave, kSend, kLinkFail };
+
+const char* to_string(ChurnEventType t);
+
+struct ChurnEvent {
+  ChurnEventType type = ChurnEventType::kJoin;
+  GroupId group = -1;                         ///< join / leave / send
+  graph::NodeId node = graph::kInvalidNode;   ///< router, or link endpoint u
+  graph::NodeId node2 = graph::kInvalidNode;  ///< link endpoint v
+
+  bool operator==(const ChurnEvent&) const = default;
+};
+
+/// Protocol mutant via fault injection: every `every_nth`-th packet of type
+/// `drop` is silently lost at its sender's egress (Network::set_drop_filter).
+/// Dropping every PRUNE, CLEAR or BRANCH turns the real protocol into the
+/// ISSUE's intentionally-broken mutants without touching protocol code.
+struct FaultSpec {
+  sim::PacketType drop = sim::PacketType::kPrune;
+  int every_nth = 1;  ///< 1 = drop all matching packets
+
+  bool operator==(const FaultSpec&) const = default;
+};
+
+enum class ChurnTopo { kArpanet, kWaxman };
+
+struct ChurnConfig {
+  ChurnTopo topo = ChurnTopo::kArpanet;
+  std::uint64_t topo_seed = 1;  ///< link delays (and Waxman structure)
+  int waxman_nodes = 50;        ///< paper §IV-A size; ignored for ARPANET
+  double waxman_degree = 3.0;   ///< target average degree (paper: 3 and 5)
+  int num_groups = 3;
+  int num_events = 200;
+  std::uint64_t event_seed = 1;
+  int max_link_failures = 2;  ///< cap on generated link-failure events
+  int audit_stride = 1;       ///< audit after every k-th event (and at the end)
+  std::optional<FaultSpec> fault;
+};
+
+struct CheckOutcome {
+  bool ok = true;
+  int executed = 0;        ///< events actually applied (guards may skip some)
+  int failing_index = -1;  ///< index of the event whose audit failed
+  std::vector<Violation> violations;
+};
+
+class ChurnModelChecker {
+ public:
+  explicit ChurnModelChecker(ChurnConfig cfg);
+
+  const ChurnConfig& config() const { return cfg_; }
+
+  /// The seeded event sequence this configuration explores.
+  std::vector<ChurnEvent> generate() const;
+
+  /// Replays `events` against a fresh world, auditing per audit_stride.
+  /// Inapplicable events (a link failure whose edge is already gone or whose
+  /// removal would disconnect the topology) are skipped deterministically.
+  CheckOutcome replay(const std::vector<ChurnEvent>& events) const;
+
+  /// generate() + replay().
+  CheckOutcome run() const;
+
+  /// Delta-debugs `failing` (a sequence replay() rejects) down to a
+  /// 1-minimal subsequence that still fails.
+  std::vector<ChurnEvent> shrink(const std::vector<ChurnEvent>& failing) const;
+
+ private:
+  ChurnConfig cfg_;
+};
+
+// ---- replayable trace artifacts -------------------------------------------
+
+struct TraceArtifact {
+  ChurnConfig config;
+  std::vector<ChurnEvent> events;
+  std::vector<Violation> violations;  ///< what replaying the trace reproduces
+};
+
+/// Line-oriented text form (see churn.cpp header comment for the grammar).
+std::string serialize(const TraceArtifact& trace);
+TraceArtifact deserialize(const std::string& text);
+
+void write_trace(const std::string& path, const TraceArtifact& trace);
+TraceArtifact read_trace(const std::string& path);
+
+}  // namespace scmp::verify

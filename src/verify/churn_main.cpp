@@ -1,0 +1,184 @@
+// scmp_churn_check — CLI front end of the churn model-checker. CI's verify
+// job runs it with fixed seeds and a short event budget; locally it scales
+// to the ISSUE's 50k-event acceptance runs.
+//
+//   scmp_churn_check [--topo=arpanet|waxman] [--topo-seed=N] [--nodes=N]
+//                    [--degree=D] [--groups=N] [--events=N] [--seeds=a,b,c]
+//                    [--audit-stride=N] [--max-link-failures=N]
+//                    [--fault=<packet-type>[:nth]] [--dump-dir=DIR]
+//                    [--replay=TRACE] [--no-shrink] [--verbose]
+//
+// Default mode: for every event seed, generate + replay the churn sequence.
+// On a violation, shrink it to a minimal trace, dump the replayable artifact
+// into --dump-dir (default ".") and exit 1. --replay re-runs a dumped trace
+// instead (exit 1 when it still reproduces its violation — the expected
+// outcome when triaging).
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "verify/churn.hpp"
+
+namespace {
+
+using scmp::verify::ChurnConfig;
+using scmp::verify::ChurnModelChecker;
+using scmp::verify::ChurnTopo;
+using scmp::verify::CheckOutcome;
+using scmp::verify::FaultSpec;
+using scmp::verify::TraceArtifact;
+
+struct Options {
+  ChurnConfig cfg;
+  std::vector<std::uint64_t> seeds = {1};
+  std::string dump_dir = ".";
+  std::string replay_path;
+  bool shrink = true;
+  bool verbose = false;
+  bool parse_ok = true;
+};
+
+bool consume(const std::string& arg, const std::string& key,
+             std::string& value) {
+  const std::string prefix = key + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  value = arg.substr(prefix.size());
+  return true;
+}
+
+std::vector<std::uint64_t> parse_seeds(const std::string& csv) {
+  std::vector<std::uint64_t> seeds;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t next = csv.find(',', pos);
+    if (next == std::string::npos) next = csv.size();
+    seeds.push_back(std::stoull(csv.substr(pos, next - pos)));
+    pos = next + 1;
+  }
+  return seeds;
+}
+
+FaultSpec parse_fault(const std::string& spec) {
+  FaultSpec fault;
+  const std::size_t colon = spec.find(':');
+  const std::string name = spec.substr(0, colon);
+  if (colon != std::string::npos)
+    fault.every_nth = std::stoi(spec.substr(colon + 1));
+  // Round-trip through the trace grammar's parser for the name mapping.
+  const TraceArtifact probe = scmp::verify::deserialize(
+      "scmp-churn-trace v1\nfault " + name + " " +
+      std::to_string(fault.every_nth) + "\n");
+  SCMP_ASSERT(probe.config.fault.has_value());
+  return *probe.config.fault;
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (consume(arg, "--topo", v)) {
+      if (v == "arpanet") {
+        opt.cfg.topo = ChurnTopo::kArpanet;
+      } else if (v == "waxman") {
+        opt.cfg.topo = ChurnTopo::kWaxman;
+      } else {
+        std::fprintf(stderr, "unknown --topo=%s\n", v.c_str());
+        opt.parse_ok = false;
+      }
+    } else if (consume(arg, "--topo-seed", v)) {
+      opt.cfg.topo_seed = std::stoull(v);
+    } else if (consume(arg, "--nodes", v)) {
+      opt.cfg.waxman_nodes = std::stoi(v);
+    } else if (consume(arg, "--degree", v)) {
+      opt.cfg.waxman_degree = std::stod(v);
+    } else if (consume(arg, "--groups", v)) {
+      opt.cfg.num_groups = std::stoi(v);
+    } else if (consume(arg, "--events", v)) {
+      opt.cfg.num_events = std::stoi(v);
+    } else if (consume(arg, "--seeds", v)) {
+      opt.seeds = parse_seeds(v);
+    } else if (consume(arg, "--audit-stride", v)) {
+      opt.cfg.audit_stride = std::stoi(v);
+    } else if (consume(arg, "--max-link-failures", v)) {
+      opt.cfg.max_link_failures = std::stoi(v);
+    } else if (consume(arg, "--fault", v)) {
+      opt.cfg.fault = parse_fault(v);
+    } else if (consume(arg, "--dump-dir", v)) {
+      opt.dump_dir = v;
+    } else if (consume(arg, "--replay", v)) {
+      opt.replay_path = v;
+    } else if (arg == "--no-shrink") {
+      opt.shrink = false;
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      opt.parse_ok = false;
+    }
+  }
+  if (opt.seeds.empty()) {
+    std::fprintf(stderr, "--seeds must name at least one seed\n");
+    opt.parse_ok = false;
+  }
+  return opt;
+}
+
+void print_outcome(const char* what, const CheckOutcome& outcome) {
+  if (outcome.ok) {
+    std::printf("%s: OK (%d events executed, no violations)\n", what,
+                outcome.executed);
+    return;
+  }
+  std::printf("%s: VIOLATION after event %d (%zu finding(s))\n", what,
+              outcome.failing_index, outcome.violations.size());
+  for (const auto& violation : outcome.violations)
+    std::printf("  %s: %s\n", violation.invariant.c_str(),
+                violation.detail.c_str());
+}
+
+int replay_mode(const Options& opt) {
+  const TraceArtifact trace = scmp::verify::read_trace(opt.replay_path);
+  const ChurnModelChecker checker(trace.config);
+  const CheckOutcome outcome = checker.replay(trace.events);
+  print_outcome(opt.replay_path.c_str(), outcome);
+  return outcome.ok ? 0 : 1;
+}
+
+int check_mode(const Options& opt) {
+  int failures = 0;
+  for (std::uint64_t seed : opt.seeds) {
+    ChurnConfig cfg = opt.cfg;
+    cfg.event_seed = seed;
+    const ChurnModelChecker checker(cfg);
+    const std::vector<scmp::verify::ChurnEvent> events = checker.generate();
+    const CheckOutcome outcome = checker.replay(events);
+    const std::string label = "seed " + std::to_string(seed);
+    print_outcome(label.c_str(), outcome);
+    if (outcome.ok) continue;
+    ++failures;
+
+    TraceArtifact trace;
+    trace.config = cfg;
+    trace.events = opt.shrink ? checker.shrink(events) : events;
+    trace.violations = checker.replay(trace.events).violations;
+    std::filesystem::create_directories(opt.dump_dir);
+    const std::string path =
+        opt.dump_dir + "/churn_trace_seed" + std::to_string(seed) + ".txt";
+    scmp::verify::write_trace(path, trace);
+    std::printf("  minimized to %zu event(s); trace written to %s\n",
+                trace.events.size(), path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  if (!opt.parse_ok) return 2;
+  if (!opt.replay_path.empty()) return replay_mode(opt);
+  return check_mode(opt);
+}

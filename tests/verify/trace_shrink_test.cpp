@@ -1,0 +1,116 @@
+// Satellite 3 of the verification ISSUE: an intentionally-broken SCMP
+// mutant must yield a minimized counterexample of at most 10 events that
+// replays deterministically from its serialized artifact.
+//
+// The mutants are built by fault injection (Network::set_drop_filter), not
+// by forking the protocol code: dropping every PRUNE models "leave never
+// tears down state", dropping every CLEAR models "restructure never
+// retracts stale branches", dropping every BRANCH models "install skips
+// the forwarding (and reverse) edges" — the ISSUE's reverse-edge example.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "verify/churn.hpp"
+
+namespace scmp::verify {
+namespace {
+
+/// Runs the full pipeline for one mutant: detect, shrink to <= 10 events,
+/// serialize, re-read, replay — violations must reproduce identically.
+void check_mutant_shrinks(sim::PacketType drop, std::uint64_t event_seed,
+                          const char* expected_invariant) {
+  ChurnConfig cfg;
+  cfg.topo = ChurnTopo::kArpanet;
+  cfg.num_events = 150;
+  cfg.event_seed = event_seed;
+  cfg.fault = FaultSpec{drop, 1};
+  const ChurnModelChecker checker(cfg);
+
+  // 1. The mutant is caught.
+  const auto events = checker.generate();
+  const CheckOutcome broken = checker.replay(events);
+  ASSERT_FALSE(broken.ok) << "mutant was not detected";
+
+  // 2. ddmin produces a minimal reproducer within the ISSUE's budget.
+  const auto minimal = checker.shrink(events);
+  EXPECT_LE(minimal.size(), 10u);
+  EXPECT_GE(minimal.size(), 1u);
+  const CheckOutcome still_broken = checker.replay(minimal);
+  ASSERT_FALSE(still_broken.ok);
+  bool found = false;
+  for (const Violation& v : still_broken.violations)
+    found = found || v.invariant == expected_invariant;
+  EXPECT_TRUE(found) << "expected a " << expected_invariant
+                     << " violation, got:\n"
+                     << format(still_broken.violations);
+
+  // 3. 1-minimality: dropping any single event loses the reproduction.
+  for (std::size_t skip = 0; skip < minimal.size(); ++skip) {
+    std::vector<ChurnEvent> smaller;
+    for (std::size_t i = 0; i < minimal.size(); ++i) {
+      if (i != skip) smaller.push_back(minimal[i]);
+    }
+    EXPECT_TRUE(smaller.empty() || checker.replay(smaller).ok)
+        << "shrunk trace is not 1-minimal (event " << skip << " is dead "
+        << "weight)";
+  }
+
+  // 4. The artifact round-trips and replays deterministically.
+  TraceArtifact trace;
+  trace.config = cfg;
+  trace.events = minimal;
+  trace.violations = still_broken.violations;
+  const std::string path = testing::TempDir() + "/scmp_shrink_" +
+                           std::to_string(event_seed) + ".txt";
+  write_trace(path, trace);
+  const TraceArtifact back = read_trace(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(back.events, minimal);
+
+  const ChurnModelChecker replayer(back.config);
+  const CheckOutcome replayed = replayer.replay(back.events);
+  ASSERT_FALSE(replayed.ok);
+  ASSERT_EQ(replayed.violations.size(), still_broken.violations.size());
+  for (std::size_t i = 0; i < replayed.violations.size(); ++i) {
+    EXPECT_EQ(replayed.violations[i].invariant,
+              still_broken.violations[i].invariant);
+    EXPECT_EQ(replayed.violations[i].detail,
+              still_broken.violations[i].detail);
+  }
+}
+
+// Lost PRUNEs: a leave's teardown never happens, so the member's old branch
+// survives as orphan forwarding state off the authoritative tree.
+TEST(TraceShrink, DroppedPruneYieldsMinimalTrace) {
+  check_mutant_shrinks(sim::PacketType::kPrune, 1, kNoOrphanState);
+}
+
+// Lost CLEARs: a restructuring join re-parents part of the tree, but the
+// retraction of the superseded branch never reaches the routers on it.
+TEST(TraceShrink, DroppedClearYieldsMinimalTrace) {
+  check_mutant_shrinks(sim::PacketType::kClear, 5, kNoOrphanState);
+}
+
+// Lost BRANCH installs: the m-router grafts the path in its authoritative
+// tree but no i-router learns the forwarding (and reverse) edges — the
+// ISSUE's "skip reverse-edge installation" mutant.
+TEST(TraceShrink, DroppedBranchYieldsMinimalTrace) {
+  check_mutant_shrinks(sim::PacketType::kBranch, 9, kForwardingSymmetry);
+}
+
+// Shrinking is itself deterministic: same failing input, same minimal trace.
+TEST(TraceShrink, ShrinkIsDeterministic) {
+  ChurnConfig cfg;
+  cfg.num_events = 120;
+  cfg.event_seed = 1;
+  cfg.fault = FaultSpec{sim::PacketType::kPrune, 1};
+  const ChurnModelChecker checker(cfg);
+  const auto events = checker.generate();
+  ASSERT_FALSE(checker.replay(events).ok);
+  EXPECT_EQ(checker.shrink(events), checker.shrink(events));
+}
+
+}  // namespace
+}  // namespace scmp::verify

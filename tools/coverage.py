@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Aggregates gcov line coverage for src/ without gcovr or lcov.
+
+Walks the instrumented build tree for ``.gcda`` counters (produced by running
+the test suite under an ``SCMP_COVERAGE=ON`` build — see the ``coverage``
+CMake preset), asks ``gcov --json-format --stdout`` for per-line execution
+counts, and merges them per source file: a line counts as covered when any
+translation unit executed it (headers are compiled into many TUs).
+
+Typical use (what ``make coverage`` in build-coverage/ runs for you):
+
+    cmake --preset coverage && cmake --build build-coverage -j
+    ctest --test-dir build-coverage
+    tools/coverage.py --build-dir build-coverage
+
+Exits non-zero when no counters are found, when gcov fails, or when the
+total falls below ``--min-total`` (used by CI to pin the baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def gcov_json(gcda: pathlib.Path) -> dict:
+    out = subprocess.run(
+        ["gcov", "--json-format", "--stdout", str(gcda)],
+        capture_output=True, text=True, cwd=gcda.parent)
+    if out.returncode != 0:
+        raise RuntimeError(f"gcov failed on {gcda}: {out.stderr.strip()}")
+    return json.loads(out.stdout)
+
+
+def collect(build_dir: pathlib.Path, src_root: pathlib.Path):
+    """Merges per-line hit counts: {source file: {line: max hits}}."""
+    lines_by_file: dict[pathlib.Path, dict[int, int]] = {}
+    gcdas = sorted(build_dir.rglob("*.gcda"))
+    for gcda in gcdas:
+        for entry in gcov_json(gcda).get("files", []):
+            path = pathlib.Path(entry["file"])
+            if not path.is_absolute():
+                path = (gcda.parent / path).resolve()
+            try:
+                path.relative_to(src_root)
+            except ValueError:
+                continue  # system/test/third-party source
+            merged = lines_by_file.setdefault(path, {})
+            for ln in entry.get("lines", []):
+                no = ln["line_number"]
+                merged[no] = max(merged.get(no, 0), ln["count"])
+    return gcdas, lines_by_file
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", type=pathlib.Path,
+                    default=pathlib.Path("build-coverage"),
+                    help="instrumented build tree holding the .gcda counters")
+    ap.add_argument("--root", type=pathlib.Path,
+                    default=pathlib.Path(__file__).resolve().parent.parent,
+                    help="repository root")
+    ap.add_argument("--min-total", type=float, default=0.0,
+                    help="fail when total line coverage %% is below this")
+    args = ap.parse_args()
+
+    root = args.root.resolve()
+    src_root = root / "src"
+    build_dir = args.build_dir.resolve()
+    if not build_dir.is_dir():
+        print(f"coverage: build dir {build_dir} not found "
+              "(configure with --preset coverage first)", file=sys.stderr)
+        return 1
+
+    gcdas, lines_by_file = collect(build_dir, src_root)
+    if not gcdas:
+        print(f"coverage: no .gcda counters under {build_dir}; "
+              "build with SCMP_COVERAGE=ON and run the tests first",
+              file=sys.stderr)
+        return 1
+
+    total_lines = total_hit = 0
+    rows = []
+    for path in sorted(lines_by_file):
+        merged = lines_by_file[path]
+        n, hit = len(merged), sum(1 for c in merged.values() if c > 0)
+        if n == 0:
+            continue  # header seen by gcov but with no executable lines
+        total_lines += n
+        total_hit += hit
+        rows.append((str(path.relative_to(root)), hit, n))
+    if total_lines == 0:
+        print("coverage: counters held no src/ lines", file=sys.stderr)
+        return 1
+
+    width = max(len(r[0]) for r in rows)
+    for name, hit, n in rows:
+        print(f"{name:<{width}}  {100.0 * hit / n:6.1f}%  ({hit}/{n})")
+    pct = 100.0 * total_hit / total_lines
+    print("-" * (width + 25))
+    print(f"{'TOTAL':<{width}}  {pct:6.1f}%  ({total_hit}/{total_lines})")
+
+    if pct < args.min_total:
+        print(f"coverage: total {pct:.1f}% is below the required "
+              f"{args.min_total:.1f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

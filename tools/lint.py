@@ -17,6 +17,14 @@ Rules (each failure prints ``file:line: rule-id: message``):
                    diagnostic names the violated condition.
   pragma-once      every header starts include-guarding with #pragma once.
   header-using     no `using namespace` at namespace scope in headers.
+  verify-hygiene   every public mutating (non-const) method of the classes
+                   named in src/verify/coverage_manifest.json is mapped to at
+                   least one registered invariant (or carries an "exempt:"
+                   justification), the manifest's invariant list matches
+                   verify::kInvariantIds, and no manifest entry is stale.
+                   Adding a mutating entry point to src/core/scmp.hpp or
+                   src/fabric/mrouter_fabric.hpp fails lint until the
+                   verification catalog covers it.
 
 Usage: tools/lint.py [--root REPO_ROOT]
 Exits non-zero when any finding is reported.
@@ -25,6 +33,7 @@ Exits non-zero when any finding is reported.
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import re
 import sys
@@ -37,6 +46,10 @@ NO_CONTRACT_OK = {
 
 # Local convenience headers test/bench sources may include unqualified.
 LOCAL_INCLUDE_OK = {"helpers.hpp", "bench_common.hpp"}
+
+# The invariant-coverage manifest the verify-hygiene rule cross-checks.
+VERIFY_MANIFEST = "src/verify/coverage_manifest.json"
+VERIFY_INVARIANTS_HPP = "src/verify/invariants.hpp"
 
 CONTRACT_RE = re.compile(r"\bSCMP_(EXPECTS|ENSURES|ASSERT)\s*\(")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
@@ -114,6 +127,80 @@ def strip_comments_and_strings(text: str) -> str:
             continue
         i += 1
     return "".join(out)
+
+
+def class_body_declarations(code: str, class_name: str) -> str | None:
+    """Returns the top-level declaration text of ``class class_name``'s body
+    with nested brace bodies (inline definitions, member structs) collapsed
+    to ``;`` so every member reads as a ``;``-terminated declaration.
+    ``code`` must already be comment/string-stripped."""
+    m = re.search(rf"\bclass\s+{re.escape(class_name)}\b[^;{{]*{{", code)
+    if not m:
+        return None
+    out: list[str] = []
+    depth, pdepth = 1, 0
+    for c in code[m.end():]:
+        if c == "(" and depth == 1:
+            pdepth += 1
+        elif c == ")" and depth == 1 and pdepth > 0:
+            pdepth -= 1
+        if pdepth == 0:
+            if c == "{":
+                depth += 1
+                continue
+            if c == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+                if depth == 1:
+                    out.append(";")
+                continue
+        if depth == 1:
+            out.append(c)
+    return "".join(out)
+
+
+def public_mutating_methods(code: str, class_name: str) -> set[str]:
+    """Names of the public non-const member functions of ``class_name`` —
+    the entry points that may mutate protocol state and therefore need
+    invariant coverage. Constructors, destructors, operators and type/member
+    declarations are skipped."""
+    body = class_body_declarations(code, class_name)
+    if body is None:
+        return set()
+    methods: set[str] = set()
+    access = "private"  # class default
+    for piece in re.split(r"\b(public|protected|private)\s*:", body):
+        if piece in ("public", "protected", "private"):
+            access = piece
+            continue
+        if access != "public":
+            continue
+        for decl in piece.split(";"):
+            decl = " ".join(decl.split())
+            paren = decl.find("(")
+            if not decl or paren < 0:
+                continue
+            head = decl[:paren]
+            first = head.split(None, 1)[0] if head.split() else ""
+            if first in ("using", "typedef", "friend", "static_assert",
+                         "struct", "class", "enum"):
+                continue
+            if "operator" in head or "~" in head:
+                continue
+            names = re.findall(r"[A-Za-z_]\w*", head)
+            if not names or names[-1] == class_name:
+                continue  # malformed or a constructor
+            nested = 0
+            close = paren
+            for close in range(paren, len(decl)):
+                nested += {"(": 1, ")": -1}.get(decl[close], 0)
+                if nested == 0:
+                    break
+            if re.search(r"\bconst\b", decl[close + 1:]):
+                continue  # const-qualified: cannot mutate state
+            methods.add(names[-1])
+    return methods
 
 
 class Linter:
@@ -205,6 +292,105 @@ class Linter:
                             "`using namespace` in a header leaks into every "
                             "includer")
 
+    def check_verify_hygiene(self):
+        manifest_path = self.root / VERIFY_MANIFEST
+        if not manifest_path.is_file():
+            self.report(manifest_path, 1, "verify-hygiene",
+                        "coverage manifest is missing")
+            return
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as err:
+            self.report(manifest_path, getattr(err, "lineno", 1),
+                        "verify-hygiene", f"manifest is not valid JSON: {err}")
+            return
+
+        # The manifest's invariant list must be exactly the registered ids
+        # (the kInvariantIds catalog in invariants.hpp).
+        registered = self._registered_invariants()
+        declared = manifest.get("invariants", [])
+        if registered is not None and sorted(declared) != sorted(registered):
+            self.report(
+                manifest_path, 1, "verify-hygiene",
+                "manifest 'invariants' disagrees with kInvariantIds in "
+                f"{VERIFY_INVARIANTS_HPP}: manifest={sorted(declared)} "
+                f"registered={sorted(registered)}")
+        valid_ids = set(declared) | set(registered or [])
+
+        for rel, spec in manifest.get("entry_points", {}).items():
+            header = self.root / rel
+            if not header.is_file():
+                self.report(manifest_path, 1, "verify-hygiene",
+                            f"entry_points names missing file {rel}")
+                continue
+            raw = header.read_text(encoding="utf-8")
+            code = strip_comments_and_strings(raw)
+            cls = spec.get("class", "")
+            found = public_mutating_methods(code, cls)
+            if not found and class_body_declarations(code, cls) is None:
+                self.report(manifest_path, 1, "verify-hygiene",
+                            f"class {cls} not found in {rel}")
+                continue
+            mapped = spec.get("methods", {})
+            for name in sorted(found - set(mapped)):
+                line = 1
+                m = re.search(rf"\b{re.escape(name)}\s*\(", code)
+                if m:
+                    line = code.count("\n", 0, m.start()) + 1
+                self.report(
+                    header, line, "verify-hygiene",
+                    f"public mutating method {cls}::{name} has no invariant "
+                    f"coverage; map it in {VERIFY_MANIFEST} (or exempt it "
+                    "with a justification)")
+            for name, cover in sorted(mapped.items()):
+                if name not in found:
+                    self.report(manifest_path, 1, "verify-hygiene",
+                                f"stale manifest entry {cls}::{name}: no such "
+                                f"public mutating method in {rel}")
+                    continue
+                if isinstance(cover, str):
+                    if not cover.startswith("exempt:") or \
+                            not cover[len("exempt:"):].strip():
+                        self.report(
+                            manifest_path, 1, "verify-hygiene",
+                            f"{cls}::{name}: string coverage must be "
+                            "'exempt: <justification>'")
+                    continue
+                if not isinstance(cover, list) or not cover:
+                    self.report(
+                        manifest_path, 1, "verify-hygiene",
+                        f"{cls}::{name}: coverage must be a non-empty list "
+                        "of invariant ids or an 'exempt:' string")
+                    continue
+                for inv in cover:
+                    if inv not in valid_ids:
+                        self.report(
+                            manifest_path, 1, "verify-hygiene",
+                            f"{cls}::{name}: unknown invariant id '{inv}'")
+
+    def _registered_invariants(self) -> list[str] | None:
+        """The string values of the constants listed in kInvariantIds."""
+        hpp = self.root / VERIFY_INVARIANTS_HPP
+        if not hpp.is_file():
+            self.report(hpp, 1, "verify-hygiene",
+                        "invariants header is missing")
+            return None
+        text = hpp.read_text(encoding="utf-8")
+        values = dict(re.findall(
+            r'constexpr\s+const\s+char\*\s+(k\w+)\s*=\s*"([^"]+)"', text))
+        block = re.search(r"kInvariantIds\[\]\s*=\s*\{([^}]*)\}", text)
+        if not block:
+            self.report(hpp, 1, "verify-hygiene",
+                        "kInvariantIds[] not found")
+            return None
+        names = re.findall(r"k\w+", block.group(1))
+        missing = [n for n in names if n not in values]
+        if missing:
+            self.report(hpp, 1, "verify-hygiene",
+                        f"kInvariantIds entries without a string value: "
+                        f"{missing}")
+        return [values[n] for n in names if n in values]
+
     # ---- driver ----------------------------------------------------------
 
     def run(self) -> int:
@@ -227,6 +413,7 @@ class Linter:
                 if path.suffix == ".hpp":
                     self.check_pragma_once(path, code)
                     self.check_header_using(path, code)
+        self.check_verify_hygiene()
         for f in self.findings:
             print(f)
         if self.findings:
