@@ -3,13 +3,16 @@
 // protocol overhead for a join storm under both policies.
 #include <iostream>
 
+#include "bench_common.hpp"
+
 #include "core/experiment.hpp"
 #include "topo/waxman.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scmp;
+  bench::BenchJson json("ablation_branch_vs_tree", argc, argv);
   constexpr int kSeeds = 5;
 
   std::cout << "Ablation: BRANCH packets vs full TREE reinstalls "
@@ -40,6 +43,8 @@ int main() {
       tree_oh.add(core::run_scenario(core::ProtocolKind::kScmp, g, cfg)
                       .stats.protocol_overhead);
     }
+    json.add_point("branch.protocol_overhead", group_size, branch_oh);
+    json.add_point("full_tree.protocol_overhead", group_size, tree_oh);
     table.add_row({std::to_string(group_size), Table::num(branch_oh.mean(), 0),
                    Table::num(tree_oh.mean(), 0),
                    Table::num(tree_oh.mean() / branch_oh.mean(), 2)});

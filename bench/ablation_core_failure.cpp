@@ -10,6 +10,8 @@
 #include <iostream>
 #include <map>
 
+#include "bench_common.hpp"
+
 #include "core/placement.hpp"
 #include "core/scmp.hpp"
 #include "protocols/cbt.hpp"
@@ -123,7 +125,8 @@ Result run(const graph::Graph& g, graph::NodeId core, graph::NodeId standby,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scmp::bench::BenchJson json("ablation_core_failure", argc, argv);
   constexpr int kSeeds = 5;
   std::cout << "Ablation: core / m-router failure mid-session\n"
             << "(random n=50 deg-3 topologies, " << kSeeds
@@ -149,6 +152,9 @@ int main() {
       after.add(r.after.delivery_ratio);
       if (r.after.late_joiner_served) ++joiner_ok;
     }
+    const std::string proto = use_scmp ? "scmp" : "cbt";
+    json.add_point(proto + ".pre_fail_delivery", use_scmp ? 1 : 0, before);
+    json.add_point(proto + ".post_fail_delivery", use_scmp ? 1 : 0, after);
     table.add_row({use_scmp ? "SCMP + hot standby" : "CBT (no repair)",
                    Table::num(before.mean(), 3), Table::num(after.mean(), 3),
                    std::to_string(joiner_ok) + "/" + std::to_string(kSeeds)});

@@ -13,6 +13,8 @@
 #include <iostream>
 #include <set>
 
+#include "bench_common.hpp"
+
 #include "core/dcdm.hpp"
 #include "graph/steiner.hpp"
 #include "topo/waxman.hpp"
@@ -48,7 +50,8 @@ struct Metrics {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scmp::bench::BenchJson json("ablation_dynamic_stability", argc, argv);
   constexpr int kSeeds = 5;
   constexpr int kEvents = 120;
   std::cout << "Ablation: dynamic tree stability — incremental DCDM vs "
@@ -105,6 +108,12 @@ int main() {
     }
   }
 
+  json.add_point("dcdm_tightest.tree_cost", 0, dcdm_tight.cost);
+  json.add_point("dcdm_tightest.edges_changed", 0, dcdm_tight.event_churn);
+  json.add_point("dcdm_loosest.tree_cost", 1, dcdm_loose.cost);
+  json.add_point("dcdm_loosest.edges_changed", 1, dcdm_loose.event_churn);
+  json.add_point("kmb_rebuild.tree_cost", 2, kmb_rebuild.cost);
+  json.add_point("kmb_rebuild.edges_changed", 2, kmb_rebuild.event_churn);
   Table table({"algorithm", "avg tree cost", "avg edges changed/event"});
   table.add_row({"DCDM tightest (incremental)",
                  Table::num(dcdm_tight.cost.mean(), 0),

@@ -10,6 +10,8 @@
 #include <iostream>
 #include <map>
 
+#include "bench_common.hpp"
+
 #include "core/scmp.hpp"
 #include "topo/waxman.hpp"
 #include "util/stats.hpp"
@@ -124,7 +126,8 @@ Metrics run(const graph::Graph& g, const graph::AllPairsPaths& paths, int k,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scmp::bench::BenchJson json("ablation_multi_mrouter", argc, argv);
   constexpr int kSeeds = 5;
   std::cout << "Ablation: 1 vs 2 vs 4 m-routers serving 8 regional groups\n"
                "(random n=50 deg-3 topologies, " << kSeeds << " seeds)\n\n";
@@ -142,6 +145,9 @@ int main() {
       data.add(m.data_overhead);
       delay.add(m.max_e2e_ms);
     }
+    json.add_point("protocol_overhead", k, proto);
+    json.add_point("data_overhead", k, data);
+    json.add_point("max_e2e_ms", k, delay);
     table.add_row({std::to_string(k), Table::num(proto.mean(), 0),
                    Table::num(data.mean(), 0), Table::num(delay.mean(), 3)});
   }

@@ -56,7 +56,9 @@ SteadyState run(core::ProtocolKind kind, const graph::Graph& g,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scmp::bench::BenchJson json("ablation_pimsm_switchover", argc, argv);
+  constexpr const char* kNames[] = {"pimsm_spt", "pimsm_rpt", "scmp"};
   constexpr int kSeeds = 3;
   std::cout << "Ablation: PIM-SM SPT switchover, steady state after the "
                "first packet\n(random n=50 deg-3 topologies, " << kSeeds
@@ -83,6 +85,12 @@ int main() {
       data[0].add(spt.data_overhead_per_packet);
       data[1].add(rpt.data_overhead_per_packet);
       data[2].add(scmp.data_overhead_per_packet);
+    }
+    for (int p = 0; p < 3; ++p) {
+      json.add_point(std::string(kNames[p]) + ".max_e2e_ms", group_size,
+                     delay[p]);
+      json.add_point(std::string(kNames[p]) + ".data_per_pkt", group_size,
+                     data[p]);
     }
     table.add_row({std::to_string(group_size), "max-e2e (ms)",
                    Table::num(delay[0].mean(), 3),

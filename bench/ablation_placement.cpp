@@ -6,14 +6,17 @@
 // cases" — the table shows how each rule compares against the naive choice.
 #include <iostream>
 
+#include "bench_common.hpp"
+
 #include "core/dcdm.hpp"
 #include "core/placement.hpp"
 #include "topo/waxman.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scmp;
+  bench::BenchJson json("ablation_placement", argc, argv);
   constexpr core::PlacementRule kRules[] = {
       core::PlacementRule::kFirstNode, core::PlacementRule::kMinAverageDelay,
       core::PlacementRule::kMaxDegree, core::PlacementRule::kDiameterMidpoint};
@@ -51,6 +54,9 @@ int main() {
       }
     }
     for (std::size_t r = 0; r < 4; ++r) {
+      const std::string rule = core::to_string(kRules[r]);
+      json.add_point(rule + ".tree_cost", group_size, cost[r]);
+      json.add_point(rule + ".tree_delay", group_size, delay[r]);
       table.add_row({core::to_string(kRules[r]), std::to_string(group_size),
                      Table::num(cost[r].mean(), 0),
                      Table::num(delay[r].mean(), 0),

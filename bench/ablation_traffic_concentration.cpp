@@ -13,6 +13,8 @@
 #include <iostream>
 #include <map>
 
+#include "bench_common.hpp"
+
 #include "core/placement.hpp"
 #include "core/scmp.hpp"
 #include "protocols/cbt.hpp"
@@ -103,7 +105,8 @@ Result run(const graph::Graph& g, graph::NodeId core, bool scmp_protocol,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scmp::bench::BenchJson json("ablation_traffic_concentration", argc, argv);
   constexpr int kSeeds = 5;
   std::cout << "Ablation: traffic concentration at the shared-tree core\n"
             << "(" << kSenders << " off-tree senders x " << kBurst
@@ -124,6 +127,7 @@ int main() {
       {"SCMP, ordinary-router root", true, false},
       {"SCMP, m-router buffers at root", true, true},
   };
+  int config_index = 0;
   for (const Config& c : configs) {
     RunningStats drops, ratio, delay;
     for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
@@ -137,6 +141,11 @@ int main() {
       ratio.add(r.delivery_ratio);
       delay.add(r.max_e2e_ms);
     }
+    json.add_point(std::string(c.name) + ".queue_drops", config_index, drops);
+    json.add_point(std::string(c.name) + ".delivery_ratio", config_index,
+                   ratio);
+    json.add_point(std::string(c.name) + ".max_e2e_ms", config_index, delay);
+    ++config_index;
     table.add_row({c.name, Table::num(drops.mean(), 0),
                    Table::num(ratio.mean(), 4), Table::num(delay.mean(), 1)});
   }

@@ -2,11 +2,15 @@
 // (paper §IV-B): the three evaluation topologies and the scenario runner.
 #pragma once
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 #include "core/experiment.hpp"
@@ -101,6 +105,97 @@ class TableSink {
 
  private:
   std::string csv_dir_;
+};
+
+/// Machine-readable result export shared by every bench binary: each series
+/// point's distribution summary is collected and, on destruction, written to
+/// `<dir>/BENCH_<name>.json` (schema "scmp-bench-v1"). The directory comes
+/// from `--json <dir>` on the command line or the SCMP_BENCH_JSON_DIR
+/// environment variable; without either, the collector is inert. CI's
+/// bench-smoke job validates every emitted file with tools/check_bench_json.py.
+class BenchJson {
+ public:
+  BenchJson(std::string name, int argc, char** argv)
+      : name_(std::move(name)) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") dir_ = argv[i + 1];
+    }
+    if (dir_.empty()) {
+      if (const char* env = std::getenv("SCMP_BENCH_JSON_DIR")) dir_ = env;
+    }
+  }
+
+  ~BenchJson() { write(); }
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  bool enabled() const { return !dir_.empty(); }
+
+  /// Records one (series, x) point. `series` names the curve (protocol,
+  /// topology, metric); `x` is the sweep coordinate (group size, event
+  /// count, ...); `stats` holds the repetition distribution.
+  void add_point(const std::string& series, double x,
+                 const RunningStats& stats) {
+    if (!enabled()) return;
+    points_.push_back(Point{series, x, summarize(stats)});
+  }
+
+  /// Writes the JSON file now (also called by the destructor, once).
+  void write() {
+    if (!enabled() || written_) return;
+    written_ = true;
+    const std::string path = dir_ + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "warning: cannot write " << path << "\n";
+      return;
+    }
+    out << "{\n  \"schema\": \"scmp-bench-v1\",\n  \"bench\": \""
+        << escape(name_) << "\",\n  \"points\": [";
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      const Point& p = points_[i];
+      out << (i == 0 ? "" : ",") << "\n    {\"series\": \""
+          << escape(p.series) << "\", \"x\": " << num(p.x)
+          << ", \"count\": " << p.summary.count
+          << ", \"mean\": " << num(p.summary.mean)
+          << ", \"ci95\": " << num(p.summary.ci95)
+          << ", \"p50\": " << num(p.summary.p50)
+          << ", \"p95\": " << num(p.summary.p95)
+          << ", \"p99\": " << num(p.summary.p99)
+          << ", \"min\": " << num(p.summary.min)
+          << ", \"max\": " << num(p.summary.max) << "}";
+    }
+    out << "\n  ]\n}\n";
+  }
+
+ private:
+  struct Point {
+    std::string series;
+    double x = 0.0;
+    Summary summary;
+  };
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  static std::string num(double v) {
+    if (!std::isfinite(v)) return "null";  // JSON has no NaN / Inf
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+  }
+
+  std::string name_;
+  std::string dir_;
+  std::vector<Point> points_;
+  bool written_ = false;
 };
 
 }  // namespace scmp::bench

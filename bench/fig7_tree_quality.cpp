@@ -44,6 +44,7 @@ struct Point {
 
 int main(int argc, char** argv) {
   scmp::bench::TableSink sink(argc, argv);
+  scmp::bench::BenchJson json("fig7_tree_quality", argc, argv);
   std::cout << "Fig. 7 reproduction: multicast tree quality "
                "(Waxman n=100, alpha=0.25, beta=0.2, 10 seeds)\n\n";
 
@@ -83,6 +84,16 @@ int main(int argc, char** argv) {
     }
 
     const std::string level_name = level.name;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const int gs = 10 + static_cast<int>(i) * 10;
+      const Point& p = points[i];
+      json.add_point(level_name + ".spt.delay", gs, p.spt_delay);
+      json.add_point(level_name + ".kmb.delay", gs, p.kmb_delay);
+      json.add_point(level_name + ".dcdm.delay", gs, p.dcdm_delay);
+      json.add_point(level_name + ".spt.cost", gs, p.spt_cost);
+      json.add_point(level_name + ".kmb.cost", gs, p.kmb_cost);
+      json.add_point(level_name + ".dcdm.cost", gs, p.dcdm_cost);
+    }
     Table delay_table({"group", "SPT", "KMB", "DCDM", "DCDM/SPT"});
     for (std::size_t i = 0; i < points.size(); ++i) {
       const int gs = 10 + static_cast<int>(i) * 10;

@@ -15,6 +15,8 @@
 int main(int argc, char** argv) {
   using namespace scmp;
   bench::TableSink sink(argc, argv);
+  bench::BenchJson json("fig8_overhead", argc, argv);
+  constexpr const char* kNames[] = {"scmp", "dvmrp", "mospf", "cbt"};
   constexpr int kSeeds = 3;
 
   std::cout << "Fig. 8 reproduction: data & protocol overhead vs group size\n"
@@ -39,6 +41,12 @@ int main(int argc, char** argv) {
           data[p].add(r.stats.data_overhead);
           proto[p].add(r.stats.protocol_overhead);
         }
+      }
+      for (int p = 0; p < 4; ++p) {
+        json.add_point(topo_name + "." + kNames[p] + ".data", group_size,
+                       data[p]);
+        json.add_point(topo_name + "." + kNames[p] + ".protocol", group_size,
+                       proto[p]);
       }
       data_table.add_row({std::to_string(group_size),
                           Table::num(data[0].mean(), 0),

@@ -13,6 +13,8 @@
 int main(int argc, char** argv) {
   using namespace scmp;
   bench::TableSink sink(argc, argv);
+  bench::BenchJson json("fig9_delay", argc, argv);
+  constexpr const char* kNames[] = {"scmp", "dvmrp", "mospf", "cbt"};
   constexpr int kSeeds = 3;
 
   std::cout << "Fig. 9 reproduction: maximum end-to-end delay (ms) vs group "
@@ -20,7 +22,8 @@ int main(int argc, char** argv) {
 
   for (std::size_t t = 0; t < 3; ++t) {
     const std::string topo_name = bench::evaluation_topologies(1)[t].name;
-    Table table({"group", "SCMP", "DVMRP", "MOSPF", "CBT", "SCMP/MOSPF"});
+    Table table({"group", "SCMP", "SCMP p95", "DVMRP", "MOSPF", "CBT",
+                 "SCMP/MOSPF"});
     for (int group_size = 8; group_size <= 40; group_size += 8) {
       RunningStats delay[4];
       for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
@@ -34,7 +37,11 @@ int main(int argc, char** argv) {
           delay[p].add(r.stats.max_end_to_end_delay * 1e3);  // ms
         }
       }
+      for (int p = 0; p < 4; ++p)
+        json.add_point(topo_name + "." + kNames[p] + ".max_delay_ms",
+                       group_size, delay[p]);
       table.add_row({std::to_string(group_size), Table::num(delay[0].mean(), 3),
+                     Table::num(delay[0].p95(), 3),
                      Table::num(delay[1].mean(), 3),
                      Table::num(delay[2].mean(), 3),
                      Table::num(delay[3].mean(), 3),

@@ -1,0 +1,83 @@
+// Shared main() for the google-benchmark micro-benches: runs the standard
+// benchmark driver, but interposes a reporter that folds every benchmark's
+// per-iteration real time into a RunningStats, so each binary also emits a
+// BENCH_<name>.json (see BenchJson in bench_common.hpp) alongside the normal
+// console output. `--json <dir>` / SCMP_BENCH_JSON_DIR select the output
+// directory; without them the run is byte-identical to benchmark_main's.
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+/// ConsoleReporter that additionally records every timing run. Aggregate
+/// pseudo-runs (mean/median/stddev rows under --benchmark_repetitions) are
+/// skipped: the JSON summarises raw runs itself.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit RecordingReporter(OutputOptions opts)
+      : benchmark::ConsoleReporter(opts) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      if (run.iterations > 0) {
+        stats_[run.benchmark_name()].add(run.real_accumulated_time /
+                                         static_cast<double>(run.iterations));
+      }
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::map<std::string, scmp::RunningStats>& stats() const {
+    return stats_;
+  }
+
+ private:
+  std::map<std::string, scmp::RunningStats> stats_;
+};
+
+/// The binary's own name, for the BENCH_<name>.json stem.
+std::string binary_stem(const char* argv0) {
+  std::string stem = argv0;
+  const std::size_t slash = stem.find_last_of('/');
+  if (slash != std::string::npos) stem = stem.substr(slash + 1);
+  return stem;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  scmp::bench::BenchJson json(binary_stem(argv[0]), argc, argv);
+  // Strip --json <dir> before benchmark's parser rejects it as unknown.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      ++i;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Bypassing benchmark's reporter factory skips its colour auto-detection;
+  // re-create the "colour only on a terminal" default here.
+  RecordingReporter reporter(
+      isatty(fileno(stdout)) ? benchmark::ConsoleReporter::OO_ColorTabular
+                             : benchmark::ConsoleReporter::OO_Tabular);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  for (const auto& [name, stats] : reporter.stats())
+    json.add_point(name, 0.0, stats);
+  json.write();
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include "core/placement.hpp"
 #include "core/scmp.hpp"
 #include "igmp/igmp.hpp"
+#include "obs/session.hpp"
 #include "sim/link_load.hpp"
 #include "topo/waxman.hpp"
 #include "util/table.hpp"
@@ -90,7 +91,9 @@ RunResult run_once(const graph::Graph& g, graph::NodeId mrouter,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  scmp::obs::ObsSession obs(argc, argv);  // --metrics / --trace support
+
   Rng trng(5);
   const topo::Topology topo = topo::waxman_with_degree(50, 3.0, trng);
   const graph::AllPairsPaths paths(topo.graph);

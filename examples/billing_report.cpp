@@ -13,13 +13,16 @@
 
 #include "core/scmp.hpp"
 #include "igmp/igmp.hpp"
+#include "obs/session.hpp"
 #include "sim/network.hpp"
 #include "topo/waxman.hpp"
 #include "util/table.hpp"
 
 using namespace scmp;
 
-int main() {
+int main(int argc, char** argv) {
+  scmp::obs::ObsSession obs(argc, argv);  // --metrics / --trace support
+
   Rng trng(21);
   const topo::Topology topo = topo::waxman_with_degree(50, 3.0, trng);
   const graph::Graph& g = topo.graph;

@@ -1,0 +1,22 @@
+# Test driver for example_scmpsim_obs: runs scmpsim with --metrics/--trace
+# and fails unless all three export files appear and are non-empty.
+# Expects -DSCMPSIM=<path to scmpsim> and -DOUT_DIR=<scratch dir>.
+execute_process(
+  COMMAND "${SCMPSIM}" --topo arpanet --protocol scmp --group-size 6
+          --metrics=${OUT_DIR}/scmpsim_obs_metrics.prom
+          --trace=${OUT_DIR}/scmpsim_obs_trace
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "scmpsim exited with ${rc}")
+endif()
+foreach(f scmpsim_obs_metrics.prom scmpsim_obs_trace.jsonl
+        scmpsim_obs_trace.chrome.json)
+  set(path "${OUT_DIR}/${f}")
+  if(NOT EXISTS "${path}")
+    message(FATAL_ERROR "missing observability export: ${path}")
+  endif()
+  file(SIZE "${path}" size)
+  if(size EQUAL 0)
+    message(FATAL_ERROR "empty observability export: ${path}")
+  endif()
+endforeach()

@@ -7,12 +7,15 @@
 #include "core/placement.hpp"
 #include "core/scmp.hpp"
 #include "igmp/igmp.hpp"
+#include "obs/session.hpp"
 #include "sim/network.hpp"
 #include "topo/waxman.hpp"
 
 using namespace scmp;
 
-int main() {
+int main(int argc, char** argv) {
+  scmp::obs::ObsSession obs(argc, argv);  // --metrics / --trace support
+
   Rng rng(17);
   const topo::Topology topo = topo::waxman_with_degree(50, 3.0, rng);
   const graph::Graph& g = topo.graph;

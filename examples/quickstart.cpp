@@ -10,11 +10,14 @@
 #include "core/scmp.hpp"
 #include "graph/graph.hpp"
 #include "igmp/igmp.hpp"
+#include "obs/session.hpp"
 #include "sim/network.hpp"
 
 using namespace scmp;
 
-int main() {
+int main(int argc, char** argv) {
+  scmp::obs::ObsSession obs(argc, argv);  // --metrics / --trace support
+
   // The paper's Fig. 5 topology: edges carry (delay, cost).
   graph::Graph g(6);
   g.add_edge(0, 1, 3, 6);

@@ -6,6 +6,12 @@
 //   scmpsim [--topo arpanet|waxman|deg3|deg5] [--protocol scmp|dvmrp|mospf|cbt]
 //           [--group-size N] [--seed S] [--duration SECONDS]
 //           [--slack X|inf] [--off-tree-source]
+//           [--metrics[=FILE]] [--trace[=BASE]]
+//
+// --metrics / --trace enable the observability layer (docs/observability.md):
+// on exit, FILE gets the Prometheus metrics text and BASE.jsonl /
+// BASE.chrome.json the span dump and a Chrome trace_event file that loads in
+// about:tracing / Perfetto.
 //
 // Example:
 //   scmpsim --topo deg3 --protocol scmp --group-size 24 --seed 7
@@ -15,6 +21,7 @@
 #include <string>
 
 #include "graph/dot.hpp"
+#include "obs/session.hpp"
 
 #include "core/dcdm.hpp"
 #include "core/experiment.hpp"
@@ -44,7 +51,8 @@ struct Options {
       << " [--topo arpanet|waxman|deg3|deg5]"
          " [--protocol scmp|dvmrp|mospf|cbt|pimsm]\n"
          "       [--group-size N] [--seed S] [--duration SECONDS]\n"
-         "       [--slack X|inf] [--off-tree-source] [--dot FILE]\n";
+         "       [--slack X|inf] [--off-tree-source] [--dot FILE]\n"
+         "       [--metrics[=FILE]] [--trace[=BASE]]\n";
   std::exit(2);
 }
 
@@ -109,6 +117,7 @@ core::ProtocolKind parse_protocol(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::ObsSession obs(argc, argv);  // consumes --metrics / --trace
   const Options opt = parse(argc, argv);
   const topo::Topology topo = build_topology(opt);
   const graph::Graph& g = topo.graph;

@@ -6,12 +6,15 @@
 #include <iostream>
 
 #include "core/experiment.hpp"
+#include "obs/session.hpp"
 #include "topo/waxman.hpp"
 #include "util/table.hpp"
 
 using namespace scmp;
 
-int main() {
+int main(int argc, char** argv) {
+  scmp::obs::ObsSession obs(argc, argv);  // --metrics / --trace support
+
   Rng trng(7);
   const topo::Topology topo = topo::waxman_with_degree(50, 3.0, trng);
   const graph::Graph& g = topo.graph;

@@ -13,12 +13,15 @@
 
 #include "core/mrouter_node.hpp"
 #include "igmp/igmp.hpp"
+#include "obs/session.hpp"
 #include "sim/network.hpp"
 #include "topo/arpanet.hpp"
 
 using namespace scmp;
 
-int main() {
+int main(int argc, char** argv) {
+  scmp::obs::ObsSession obs(argc, argv);  // --metrics / --trace support
+
   Rng rng(2026);
   const topo::Topology topo = topo::arpanet(rng);
   const graph::Graph& g = topo.graph;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/contracts.hpp"
 
 namespace scmp::core {
@@ -19,6 +21,9 @@ TreeComputePool::TreeComputePool(const graph::Graph& g,
 void TreeComputePool::for_each_index(
     std::size_t count, const std::function<void(std::size_t)>& fn) const {
   if (count == 0) return;
+  OBS_SPAN("pool.for_each");
+  static obs::Counter& tasks = obs::counter("pool.tasks");
+  tasks.inc(count);
   const auto workers =
       std::min<std::size_t>(static_cast<std::size_t>(threads_), count);
   if (workers == 1) {
@@ -45,6 +50,7 @@ void TreeComputePool::for_each_index(
 std::map<GroupId, DcdmTree> TreeComputePool::build_trees(
     graph::NodeId root, const std::vector<GroupMembership>& groups,
     const DcdmConfig& cfg) const {
+  OBS_SPAN("pool.build_trees");
   SCMP_EXPECTS(g_->valid(root));
   for (const GroupMembership& gm : groups) {
     SCMP_EXPECTS(gm.group >= 0);

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace scmp::core {
 
 DcdmTree::DcdmTree(const graph::Graph& g, const graph::AllPairsPaths& paths,
@@ -41,6 +44,7 @@ double DcdmTree::delay_bound_for(graph::NodeId joining) const {
 
 JoinResult DcdmTree::join(graph::NodeId s) {
   SCMP_EXPECTS(g_->valid(s));
+  OBS_SPAN("dcdm.join");
   JoinResult result;
   if (tree_.is_member(s)) return result;  // duplicate join
   result.is_new_member = true;
@@ -125,12 +129,17 @@ JoinResult DcdmTree::join(graph::NodeId s) {
       result.restructured = true;
     }
   }
+  if (result.restructured) {
+    static obs::Counter& restructures = obs::counter("dcdm.restructures");
+    restructures.inc();
+  }
   SCMP_ENSURES(tree_.validate(*g_));
   return result;
 }
 
 LeaveResult DcdmTree::leave(graph::NodeId s) {
   SCMP_EXPECTS(g_->valid(s));
+  OBS_SPAN("dcdm.leave");
   LeaveResult result;
   if (!tree_.is_member(s)) return result;
   result.was_member = true;

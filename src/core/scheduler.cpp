@@ -2,9 +2,17 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 
 namespace scmp::core {
+
+namespace {
+obs::Gauge& pending_gauge() {
+  static obs::Gauge& g = obs::gauge("wfq.pending");
+  return g;
+}
+}  // namespace
 
 WfqScheduler::WfqScheduler(double capacity_bps)
     : capacity_bps_(capacity_bps) {
@@ -34,6 +42,9 @@ void WfqScheduler::enqueue(GroupId group, std::uint64_t uid,
       start + static_cast<double>(bytes) / weight_of(group);
   last_finish_[group] = finish;
   heap_.push(Entry{finish, group, uid, bytes, now, next_seq_++});
+  static obs::Counter& enqueued = obs::counter("wfq.enqueued");
+  enqueued.inc();
+  pending_gauge().set(static_cast<double>(heap_.size()));
 }
 
 std::optional<WfqScheduler::Scheduled> WfqScheduler::dequeue() {
@@ -52,6 +63,11 @@ std::optional<WfqScheduler::Scheduled> WfqScheduler::dequeue() {
   port_free_at_ = std::max(port_free_at_, e.arrival) +
                   static_cast<double>(e.bytes) * 8.0 / capacity_bps_;
   s.dequeue_time = port_free_at_;
+  // Simulated seconds from arrival to the port finishing the packet — the
+  // paper's per-session queueing-delay quantity, not wall-clock time.
+  static obs::Histogram& delay = obs::histogram("wfq.queue_delay.seconds");
+  delay.observe(s.dequeue_time - e.arrival);
+  pending_gauge().set(static_cast<double>(heap_.size()));
   return s;
 }
 

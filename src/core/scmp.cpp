@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/tree_packet.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/log.hpp"
 
 namespace scmp::core {
@@ -168,6 +170,11 @@ void Scmp::local_membership_change(GroupId group, bool joined) {
 // ---------------------------------------------------------------------------
 
 void Scmp::mrouter_handle_join(GroupId group, graph::NodeId requester) {
+  // The span covers the m-router's whole JOIN turnaround: DCDM admission,
+  // diffing, and handing the install packets to the network.
+  OBS_SPAN("scmp.join");
+  static obs::Counter& joins = obs::counter("scmp.joins");
+  joins.inc();
   const double now = net().now();
   db_.start_session(group, now);
   db_.record_join(group, requester, now);
@@ -233,6 +240,9 @@ void Scmp::set_session_idle_expiry(double idle_seconds) {
 }
 
 void Scmp::mrouter_handle_leave(GroupId group, graph::NodeId requester) {
+  OBS_SPAN("scmp.leave");
+  static obs::Counter& leaves = obs::counter("scmp.leaves");
+  leaves.inc();
   db_.record_leave(group, requester, net().now());
   tree_for(group).leave(requester);
   // The physical prune travels hop-by-hop from the leaving DR (§III-C); the
@@ -260,10 +270,13 @@ void Scmp::mrouter_handle_leave(GroupId group, graph::NodeId requester) {
 
 void Scmp::install_branch(GroupId group, graph::NodeId member,
                           std::uint64_t version) {
+  OBS_SPAN("scmp.install.branch");
   const graph::MulticastTree& tree = tree_for(group).tree();
   SCMP_EXPECTS(tree.on_tree(member));
   const std::vector<graph::NodeId> path = tree.path_from_root(member);
   if (path.size() < 2) return;  // member is the anchoring m-router itself
+  static obs::Counter& installs = obs::counter("scmp.installs.branch");
+  installs.inc();
   for (std::size_t i = 1; i < path.size(); ++i)
     ever_installed_[group].insert(path[i]);
 
@@ -280,6 +293,9 @@ void Scmp::install_branch(GroupId group, graph::NodeId member,
 void Scmp::install_full_tree(GroupId group,
                              const std::vector<graph::NodeId>& removed,
                              std::uint64_t version) {
+  OBS_SPAN("scmp.install.tree");
+  static obs::Counter& installs = obs::counter("scmp.installs.tree");
+  installs.inc();
   const graph::MulticastTree& tree = tree_for(group).tree();
   const graph::NodeId root = mrouter_of(group);
   for (graph::NodeId v : tree.on_tree_nodes())
@@ -340,6 +356,7 @@ void Scmp::refresh_group(GroupId group) {
 
 void Scmp::rebuild_trees(const std::vector<GroupId>& groups,
                          const TreeComputePool* pool) {
+  OBS_SPAN("scmp.rebuild");
   // Rebuild the given groups' trees from the membership database — on the
   // compute pool's worker threads when one is provided (per-group rebuilds
   // are independent, §II-B), serially otherwise. Join order is the
@@ -395,6 +412,7 @@ void Scmp::rebuild_trees(const std::vector<GroupId>& groups,
 
 void Scmp::fail_over(graph::NodeId failed, graph::NodeId standby,
                      const TreeComputePool* pool) {
+  OBS_SPAN("scmp.failover");
   SCMP_EXPECTS(net().graph().valid(standby));
   if (failed == standby) return;
   const auto it = std::find(mrouters_.begin(), mrouters_.end(), failed);
@@ -417,6 +435,7 @@ void Scmp::fail_over(graph::NodeId failed, graph::NodeId standby,
 }
 
 void Scmp::on_topology_change() {
+  OBS_SPAN("scmp.topology_change");
   // The m-routers' link-state view reconverged: refresh the global path
   // database (P_sl / P_lc), then recompute and reinstall every group tree.
   paths_ = graph::AllPairsPaths(net().graph());

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/contracts.hpp"
 
 namespace scmp::fabric {
@@ -20,6 +22,9 @@ MRouterFabric::MRouterFabric(int ports)
 }
 
 void MRouterFabric::configure(const std::vector<FabricSession>& sessions) {
+  OBS_SPAN("fabric.configure");
+  static obs::Counter& configured = obs::counter("fabric.sessions");
+  configured.inc(sessions.size());
   // Validate: distinct groups, distinct in-range input ports, capacity.
   std::vector<char> port_taken(static_cast<std::size_t>(ports_), 0);
   int total_inputs = 0;

@@ -1,0 +1,134 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+#include "util/contracts.hpp"
+
+namespace scmp::obs {
+
+namespace {
+
+/// "net.tx.packets" -> "scmp_net_tx_packets".
+std::string prom_name(const std::string& name) {
+  std::string out = "scmp_";
+  for (char c : name)
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  return out;
+}
+
+/// Shortest round-trippable decimal; integers print without an exponent.
+std::string num(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v >= -1e15 && v <= 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+
+std::string label(const MetricSample& s, const std::string& extra = {}) {
+  std::string out;
+  if (!s.tag.empty()) out += "tag=\"" + s.tag + "\"";
+  if (!extra.empty()) {
+    if (!out.empty()) out += ",";
+    out += extra;
+  }
+  return out.empty() ? "" : "{" + out + "}";
+}
+
+const char* type_of(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "summary";
+  }
+  return "untyped";
+}
+
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out.push_back('\\');
+    out.push_back(*s);
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& out,
+                      const std::vector<MetricSample>& samples) {
+  SCMP_EXPECTS(out.good());
+  std::string last_family;
+  for (const MetricSample& s : samples) {
+    std::string family = prom_name(s.name);
+    if (s.kind == MetricKind::kCounter) family += "_total";
+    if (family != last_family) {
+      out << "# TYPE " << family << " " << type_of(s.kind) << "\n";
+      last_family = family;
+    }
+    switch (s.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out << family << label(s) << " " << num(s.value) << "\n";
+        break;
+      case MetricKind::kHistogram:
+        out << family << label(s, "quantile=\"0.5\"") << " " << num(s.p50)
+            << "\n";
+        out << family << label(s, "quantile=\"0.95\"") << " " << num(s.p95)
+            << "\n";
+        out << family << label(s, "quantile=\"0.99\"") << " " << num(s.p99)
+            << "\n";
+        out << family << "_sum" << label(s) << " " << num(s.sum) << "\n";
+        out << family << "_count" << label(s) << " " << s.count << "\n";
+        break;
+    }
+  }
+}
+
+void write_prometheus(std::ostream& out) { write_prometheus(out, snapshot()); }
+
+void write_spans_jsonl(std::ostream& out,
+                       const std::vector<SpanRecord>& spans) {
+  SCMP_EXPECTS(out.good());
+  for (const SpanRecord& r : spans) {
+    out << "{\"name\":\"" << json_escape(r.name) << "\",\"start_ns\":"
+        << r.start_ns << ",\"dur_ns\":" << r.dur_ns << ",\"tid\":" << r.tid
+        << ",\"depth\":" << r.depth << "}\n";
+  }
+}
+
+void write_spans_jsonl(std::ostream& out) {
+  write_spans_jsonl(out, span_sink().snapshot());
+}
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<SpanRecord>& spans) {
+  SCMP_EXPECTS(out.good());
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& r : spans) {
+    if (!first) out << ",";
+    first = false;
+    char ts[32], dur[32];
+    std::snprintf(ts, sizeof(ts), "%.3f",
+                  static_cast<double>(r.start_ns) / 1e3);
+    std::snprintf(dur, sizeof(dur), "%.3f",
+                  static_cast<double>(r.dur_ns) / 1e3);
+    out << "\n{\"name\":\"" << json_escape(r.name)
+        << "\",\"cat\":\"scmp\",\"ph\":\"X\",\"ts\":" << ts
+        << ",\"dur\":" << dur << ",\"pid\":1,\"tid\":" << r.tid << "}";
+  }
+  out << "\n]}\n";
+}
+
+void write_chrome_trace(std::ostream& out) {
+  write_chrome_trace(out, span_sink().snapshot());
+}
+
+}  // namespace scmp::obs

@@ -1,0 +1,35 @@
+// Exporters for the observability layer: Prometheus text exposition of the
+// metrics registry, a JSONL span dump, and a Chrome trace_event file
+// loadable in about:tracing / Perfetto (docs/observability.md documents the
+// formats). Each exporter has a pure overload taking explicit samples (what
+// the golden-file tests exercise) and a convenience overload reading the
+// process-wide registry / span sink.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace scmp::obs {
+
+/// Prometheus text format: metric names are prefixed "scmp_" with dots
+/// mangled to underscores; counters gain the conventional "_total" suffix;
+/// tags export as a {tag="..."} label; histograms export as summaries with
+/// quantile="0.5|0.95|0.99" series plus _sum and _count.
+void write_prometheus(std::ostream& out,
+                      const std::vector<MetricSample>& samples);
+void write_prometheus(std::ostream& out);
+
+/// One JSON object per line per completed span, oldest first.
+void write_spans_jsonl(std::ostream& out,
+                       const std::vector<SpanRecord>& spans);
+void write_spans_jsonl(std::ostream& out);
+
+/// Chrome trace_event JSON ("X" complete events, microsecond timestamps).
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<SpanRecord>& spans);
+void write_chrome_trace(std::ostream& out);
+
+}  // namespace scmp::obs

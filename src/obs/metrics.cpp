@@ -1,0 +1,135 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace scmp::obs {
+
+void set_metrics_enabled(bool on) {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const {
+  SCMP_EXPECTS(q >= 0.0 && q <= 1.0);
+  return quantile_from_counts(bucket_counts(), q);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+namespace {
+
+using Key = std::pair<std::string, std::string>;
+
+/// The process-wide registry. std::map gives node stability: references
+/// handed out survive any later registration.
+struct Registry {
+  std::mutex mu;
+  std::map<Key, std::unique_ptr<Counter>> counters;
+  std::map<Key, std::unique_ptr<Gauge>> gauges;
+  std::map<Key, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+template <typename T>
+T& get_or_create(std::map<Key, std::unique_ptr<T>>& metrics,
+                 std::string_view name, std::string_view tag) {
+  SCMP_EXPECTS(!name.empty());
+  auto& slot = metrics[Key(std::string(name), std::string(tag))];
+  if (!slot) slot = std::make_unique<T>();
+  return *slot;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name, std::string_view tag) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  return get_or_create(r.counters, name, tag);
+}
+
+Gauge& gauge(std::string_view name, std::string_view tag) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  return get_or_create(r.gauges, name, tag);
+}
+
+Histogram& histogram(std::string_view name, std::string_view tag) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  return get_or_create(r.histograms, name, tag);
+}
+
+Histogram& span_stats(std::string_view span_name) {
+  return histogram("span." + std::string(span_name) + ".seconds");
+}
+
+std::vector<MetricSample> snapshot() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<MetricSample> out;
+  out.reserve(r.counters.size() + r.gauges.size() + r.histograms.size());
+  for (const auto& [key, c] : r.counters) {
+    MetricSample s;
+    s.name = key.first;
+    s.tag = key.second;
+    s.kind = MetricKind::kCounter;
+    s.value = static_cast<double>(c->value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [key, g] : r.gauges) {
+    MetricSample s;
+    s.name = key.first;
+    s.tag = key.second;
+    s.kind = MetricKind::kGauge;
+    s.value = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [key, h] : r.histograms) {
+    MetricSample s;
+    s.name = key.first;
+    s.tag = key.second;
+    s.kind = MetricKind::kHistogram;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.p50 = h->quantile(0.50);
+    s.p95 = h->quantile(0.95);
+    s.p99 = h->quantile(0.99);
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return std::tie(a.name, a.tag) < std::tie(b.name, b.tag);
+            });
+  return out;
+}
+
+void reset_values() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [key, c] : r.counters) c->reset();
+  for (auto& [key, g] : r.gauges) g->reset();
+  for (auto& [key, h] : r.histograms) h->reset();
+}
+
+}  // namespace scmp::obs

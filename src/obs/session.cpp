@@ -1,0 +1,96 @@
+#include "obs/session.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "util/contracts.hpp"
+
+namespace scmp::obs {
+
+namespace {
+
+/// Matches `--flag`, `--flag=VALUE` and `--flag VALUE` at argv[i]; fills
+/// `value` (keeping the given default for the bare form) and returns the
+/// number of argv slots consumed (0 = no match).
+int match_flag(int argc, char** argv, int i, const char* flag,
+               std::string& value) {
+  const std::size_t flag_len = std::strlen(flag);
+  if (std::strncmp(argv[i], flag, flag_len) != 0) return 0;
+  const char* rest = argv[i] + flag_len;
+  if (*rest == '=') {
+    value = rest + 1;
+    return 1;
+  }
+  if (*rest != '\0') return 0;  // a longer flag sharing the prefix
+  if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+    value = argv[i + 1];
+    return 2;
+  }
+  return 1;  // bare form: keep the default value
+}
+
+bool write_file(const std::string& path,
+                void (*writer)(std::ostream&)) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "obs: cannot write " << path << "\n";
+    return false;
+  }
+  writer(out);
+  return true;
+}
+
+}  // namespace
+
+ObsSession::ObsSession(int& argc, char** argv) {
+  SCMP_EXPECTS(argv != nullptr);
+  std::string metrics = "metrics.prom";
+  std::string trace = "trace";
+  int out = 0;
+  for (int i = 0; i < argc;) {
+    int used = match_flag(argc, argv, i, "--metrics", metrics);
+    if (used > 0) {
+      metrics_path_ = metrics;
+      i += used;
+      continue;
+    }
+    used = match_flag(argc, argv, i, "--trace", trace);
+    if (used > 0) {
+      trace_base_ = trace;
+      i += used;
+      continue;
+    }
+    argv[out++] = argv[i++];
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  if (metrics_requested()) set_metrics_enabled(true);
+  if (trace_requested()) set_tracing_enabled(true);
+}
+
+ObsSession::~ObsSession() {
+  if (!written_) write_now();
+}
+
+bool ObsSession::write_now() {
+  written_ = true;
+  bool ok = true;
+  if (metrics_requested()) {
+    ok &= write_file(metrics_path_,
+                     static_cast<void (*)(std::ostream&)>(&write_prometheus));
+  }
+  if (trace_requested()) {
+    ok &= write_file(trace_base_ + ".jsonl",
+                     static_cast<void (*)(std::ostream&)>(&write_spans_jsonl));
+    ok &= write_file(
+        trace_base_ + ".chrome.json",
+        static_cast<void (*)(std::ostream&)>(&write_chrome_trace));
+  }
+  return ok;
+}
+
+}  // namespace scmp::obs

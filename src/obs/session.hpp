@@ -1,0 +1,44 @@
+// CLI glue for the observability layer: one line in main() gives a binary
+// the standard `--metrics` / `--trace` flags (scmpsim, the examples and the
+// churn checker all use it).
+#pragma once
+
+#include <string>
+
+namespace scmp::obs {
+
+/// Scans argv for the observability flags, removes them (so the host
+/// program's own parser never sees them) and enables the matching
+/// subsystems:
+///
+///   --metrics[=PATH] | --metrics PATH   enable metrics; Prometheus text is
+///                                       written to PATH (default
+///                                       "metrics.prom") on destruction.
+///   --trace[=BASE]   | --trace BASE     enable span tracing; BASE.jsonl
+///                                       (span dump) and BASE.chrome.json
+///                                       (Chrome trace_event) are written on
+///                                       destruction (default base "trace").
+class ObsSession {
+ public:
+  ObsSession(int& argc, char** argv);
+  /// Writes any pending exports (also invoked by the destructor, once).
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// Writes the export files now; returns false if any write failed.
+  bool write_now();
+
+  bool metrics_requested() const { return !metrics_path_.empty(); }
+  bool trace_requested() const { return !trace_base_.empty(); }
+  const std::string& metrics_path() const { return metrics_path_; }
+  const std::string& trace_base() const { return trace_base_; }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_base_;
+  bool written_ = false;
+};
+
+}  // namespace scmp::obs

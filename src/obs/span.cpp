@@ -1,0 +1,109 @@
+#include "obs/span.hpp"
+
+#include <chrono>
+
+#include "util/contracts.hpp"
+
+namespace scmp::obs {
+
+void set_tracing_enabled(bool on) {
+  detail::g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+SpanSink::SpanSink(std::size_t capacity) : capacity_(capacity) {
+  SCMP_EXPECTS(capacity > 0);
+}
+
+void SpanSink::record(const SpanRecord& r) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(r);
+  } else {
+    ring_[next_] = r;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::vector<SpanRecord> SpanSink::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // Full ring: next_ is the oldest record.
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  }
+  return out;
+}
+
+std::uint64_t SpanSink::total_recorded() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+void SpanSink::set_capacity(std::size_t capacity) {
+  SCMP_EXPECTS(capacity > 0);
+  const std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  ring_.clear();
+  next_ = 0;
+}
+
+void SpanSink::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+SpanSink& span_sink() {
+  static SpanSink sink;
+  return sink;
+}
+
+namespace {
+
+std::chrono::steady_clock::time_point process_anchor() {
+  static const auto anchor = std::chrono::steady_clock::now();
+  return anchor;
+}
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - process_anchor())
+          .count());
+}
+
+std::uint32_t this_thread_tid() {
+  static std::atomic<std::uint32_t> next_tid{0};
+  thread_local const std::uint32_t tid =
+      next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void Span::begin(const char* name) {
+  SCMP_EXPECTS(name != nullptr);
+  name_ = name;
+  depth_ = ++detail::tls_span_depth;
+  start_ = now_ns();
+}
+
+void Span::end() {
+  const std::uint64_t dur = now_ns() - start_;
+  --detail::tls_span_depth;
+  if (tracing_enabled())
+    span_sink().record(
+        SpanRecord{name_, start_, dur, this_thread_tid(), depth_});
+  if (metrics_enabled())
+    span_stats(name_).observe(static_cast<double>(dur) * 1e-9);
+}
+
+}  // namespace scmp::obs

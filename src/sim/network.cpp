@@ -1,11 +1,51 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <array>
 #include <map>
 
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace scmp::sim {
+
+namespace {
+
+// Link-level observability: packets/bytes transmitted by PacketType plus the
+// three drop classes. The counters are resolved once (function-local static)
+// so the per-packet cost with metrics disabled is a relaxed load + branch.
+constexpr int kNumPacketTypes =
+    static_cast<int>(PacketType::kIgmpLeave) + 1;
+
+struct LinkCounters {
+  std::array<obs::Counter*, kNumPacketTypes> packets{};
+  std::array<obs::Counter*, kNumPacketTypes> bytes{};
+  obs::Counter* no_link_drops = nullptr;
+  obs::Counter* queue_drops = nullptr;
+  obs::Counter* injected_drops = nullptr;
+  obs::Counter* deliveries = nullptr;
+};
+
+const LinkCounters& link_counters() {
+  static const LinkCounters counters = [] {
+    LinkCounters c;
+    for (int i = 0; i < kNumPacketTypes; ++i) {
+      const auto t = static_cast<PacketType>(i);
+      c.packets[static_cast<std::size_t>(i)] =
+          &obs::counter("net.tx.packets", to_string(t));
+      c.bytes[static_cast<std::size_t>(i)] =
+          &obs::counter("net.tx.bytes", to_string(t));
+    }
+    c.no_link_drops = &obs::counter("net.drops.no_link");
+    c.queue_drops = &obs::counter("net.drops.queue");
+    c.injected_drops = &obs::counter("net.drops.injected");
+    c.deliveries = &obs::counter("net.deliveries");
+    return c;
+  }();
+  return counters;
+}
+
+}  // namespace
 
 Network::Network(const graph::Graph& g, EventQueue& queue,
                  double bandwidth_bps, double delay_scale)
@@ -114,6 +154,7 @@ void Network::transmit(graph::NodeId from, graph::NodeId to, Packet pkt,
     // The interface is down (the link failed while this router still held
     // forwarding state across it): drop, as a real router would.
     ++stats_.no_link_drops;
+    link_counters().no_link_drops->inc();
     return;
   }
 
@@ -121,6 +162,7 @@ void Network::transmit(graph::NodeId from, graph::NodeId to, Packet pkt,
   // before the packet consumes any link resources.
   if (drop_filter_ && drop_filter_(from, to, pkt)) {
     ++stats_.injected_drops;
+    link_counters().injected_drops->inc();
     return;
   }
 
@@ -150,12 +192,20 @@ void Network::transmit(graph::NodeId from, graph::NodeId to, Packet pkt,
   int& backlog = link_backlog_[static_cast<std::size_t>(from)][slot];
   if (static_cast<std::size_t>(backlog) >= node_queue_limit(from)) {
     ++stats_.queue_drops;
+    link_counters().queue_drops->inc();
     return;
   }
   ++backlog;
 
   link_bytes_[static_cast<std::size_t>(from)][slot] += pkt.size_bytes;
-  if (on_transmit_) on_transmit_(from, to, pkt, queue_->now());
+  {
+    const auto type_idx = static_cast<std::size_t>(pkt.type);
+    const LinkCounters& counters = link_counters();
+    counters.packets[type_idx]->inc();
+    counters.bytes[type_idx]->inc(pkt.size_bytes);
+  }
+  for (const TransmitCallback& observer : transmit_observers_)
+    observer(from, to, pkt, queue_->now());
 
   // The packet first crosses the router's switching fabric (shared across
   // all ports; unlimited unless configured), then its egress port.
@@ -257,6 +307,7 @@ std::uint64_t Network::bytes_on_link(graph::NodeId u, graph::NodeId v) const {
 
 void Network::report_delivery(const Packet& pkt, graph::NodeId member) {
   ++stats_.deliveries;
+  link_counters().deliveries->inc();
   const double e2e = queue_->now() - pkt.created_at;
   stats_.max_end_to_end_delay = std::max(stats_.max_end_to_end_delay, e2e);
   if (on_delivery_) on_delivery_(pkt, member, queue_->now());

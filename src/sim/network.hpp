@@ -100,13 +100,18 @@ class Network {
                                         const Packet&)>;
   void set_drop_filter(DropFilter filter) { drop_filter_ = std::move(filter); }
 
-  /// Optional structured trace of every link transmission (for debugging and
-  /// trace-driven analysis); called at send time.
+  /// Structured observation of every link transmission, called at send time.
+  /// Observers chain: a TraceRecorder, the verification auditor's hooks and
+  /// the metrics layer can all watch the same network — registering one
+  /// never replaces another. Invoked in registration order.
   using TransmitCallback = std::function<void(graph::NodeId from,
                                               graph::NodeId to,
                                               const Packet&, SimTime at)>;
-  void set_transmit_callback(TransmitCallback cb) {
-    on_transmit_ = std::move(cb);
+  void add_transmit_observer(TransmitCallback cb) {
+    transmit_observers_.push_back(std::move(cb));
+  }
+  std::size_t transmit_observer_count() const {
+    return transmit_observers_.size();
   }
 
   /// Bytes transmitted over the undirected link {u, v} so far (both
@@ -172,7 +177,7 @@ class Network {
   double delay_scale_;
   std::uint64_t uid_counter_ = 0;
   DeliveryCallback on_delivery_;
-  TransmitCallback on_transmit_;
+  std::vector<TransmitCallback> transmit_observers_;
   DropFilter drop_filter_;
 };
 

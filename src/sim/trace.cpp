@@ -3,7 +3,7 @@
 namespace scmp::sim {
 
 TraceRecorder::TraceRecorder(Network& net) {
-  net.set_transmit_callback([this](graph::NodeId from, graph::NodeId to,
+  net.add_transmit_observer([this](graph::NodeId from, graph::NodeId to,
                                    const Packet& pkt, SimTime at) {
     events_.push_back(TraceEvent{at, from, to, pkt.type, pkt.group, pkt.src,
                                  pkt.uid, pkt.size_bytes});

@@ -21,8 +21,10 @@ struct TraceEvent {
   std::size_t size_bytes = 0;
 };
 
-/// Captures the network's transmit stream. Attach installs itself as the
-/// network's transmit callback (replacing any previous one).
+/// Captures the network's transmit stream. Construction registers a transmit
+/// observer on the network; other observers (the verification auditor's
+/// hooks, the metrics layer, further recorders) coexist with it. The
+/// recorder must outlive the network's last transmission.
 class TraceRecorder {
  public:
   explicit TraceRecorder(Network& net);

@@ -7,6 +7,46 @@
 
 namespace scmp {
 
+int LogBuckets::index(double x) {
+  // The comparison is written so NaN, zero and negatives all land in the
+  // underflow bucket without a separate test.
+  if (!(x >= std::ldexp(1.0, kMinExp))) return 0;
+  if (x >= std::ldexp(1.0, kMaxExp)) return kCount - 1;
+  const double e = (std::log2(x) - kMinExp) * kSubBuckets;
+  return std::clamp(1 + static_cast<int>(e), 1, kCount - 2);
+}
+
+double LogBuckets::lower(int i) {
+  SCMP_EXPECTS(i >= 0 && i < kCount);
+  if (i == 0) return 0.0;
+  return std::exp2(kMinExp +
+                   static_cast<double>(i - 1) / kSubBuckets);
+}
+
+double LogBuckets::representative(int i) {
+  SCMP_EXPECTS(i >= 0 && i < kCount);
+  if (i == 0) return 0.0;
+  if (i == kCount - 1) return std::ldexp(1.0, kMaxExp);
+  return std::sqrt(lower(i) * lower(i + 1));
+}
+
+double quantile_from_counts(const std::vector<std::uint64_t>& counts,
+                            double q) {
+  SCMP_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  // Nearest-rank: the smallest value with cumulative frequency >= q.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= rank) return LogBuckets::representative(static_cast<int>(i));
+  }
+  return LogBuckets::representative(static_cast<int>(counts.size()) - 1);
+}
+
 void RunningStats::add(double x) {
   ++n_;
   const double delta = x - mean_;
@@ -14,6 +54,8 @@ void RunningStats::add(double x) {
   m2_ += delta * (x - mean_);
   min_ = std::min(min_, x);
   max_ = std::max(max_, x);
+  if (buckets_.empty()) buckets_.assign(LogBuckets::kCount, 0);
+  ++buckets_[static_cast<std::size_t>(LogBuckets::index(x))];
 }
 
 double RunningStats::variance() const {
@@ -28,6 +70,14 @@ double RunningStats::ci95_halfwidth() const {
   return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
 }
 
+double RunningStats::quantile(double q) const {
+  SCMP_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (n_ == 0) return 0.0;
+  // Clamping to the exact extremes makes single-sample stats exact and
+  // tightens the tails beyond the bucket resolution.
+  return std::clamp(quantile_from_counts(buckets_, q), min_, max_);
+}
+
 Summary summarize(const RunningStats& s) {
   Summary out;
   out.count = s.count();
@@ -36,6 +86,9 @@ Summary summarize(const RunningStats& s) {
   out.min = s.count() > 0 ? s.min() : 0.0;
   out.max = s.count() > 0 ? s.max() : 0.0;
   out.ci95 = s.ci95_halfwidth();
+  out.p50 = s.p50();
+  out.p95 = s.p95();
+  out.p99 = s.p99();
   return out;
 }
 

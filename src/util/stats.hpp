@@ -1,15 +1,45 @@
 // Small statistics helpers for the experiment harnesses: single-pass running
-// moments (Welford) plus a summary type carrying a normal-approximation 95%
-// confidence interval, which the benches print next to every series point.
+// moments (Welford) plus a fixed-layout logarithmic histogram giving
+// approximate p50/p95/p99, and a summary type carrying a normal-approximation
+// 95% confidence interval — the benches print mean/ci95/quantiles next to
+// every series point and export them to BENCH_*.json.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
 namespace scmp {
 
-/// Single-pass mean/variance accumulator (Welford's algorithm).
+/// Fixed logarithmic bucket layout shared by RunningStats quantiles and the
+/// observability histograms (src/obs): kSubBuckets buckets per power of two
+/// covering [2^kMinExp, 2^kMaxExp) — from ~9e-13 to ~1.7e7, which spans
+/// nanosecond wall times, simulated seconds, and packet/byte counts — plus
+/// an underflow bucket (zero, negative, NaN) and an overflow bucket. The
+/// relative quantile error is bounded by 2^(1/kSubBuckets) - 1 (~4.4%).
+struct LogBuckets {
+  static constexpr int kSubBuckets = 16;
+  static constexpr int kMinExp = -40;
+  static constexpr int kMaxExp = 24;
+  static constexpr int kCount = (kMaxExp - kMinExp) * kSubBuckets + 2;
+
+  /// Bucket index of a sample (0 = underflow, kCount-1 = overflow).
+  static int index(double x);
+  /// Inclusive lower value bound of bucket `i` (0 for the underflow bucket).
+  static double lower(int i);
+  /// Value reported for a quantile landing in bucket `i`: the geometric
+  /// midpoint of its bounds (0 for underflow, 2^kMaxExp for overflow).
+  static double representative(int i);
+};
+
+/// Quantile (0 <= q <= 1) from per-bucket counts in LogBuckets layout.
+/// Returns 0 when the counts are all zero.
+double quantile_from_counts(const std::vector<std::uint64_t>& counts,
+                            double q);
+
+/// Single-pass mean/variance accumulator (Welford's algorithm) with an
+/// attached LogBuckets histogram for approximate quantiles.
 class RunningStats {
  public:
   void add(double x);
@@ -24,12 +54,21 @@ class RunningStats {
   /// Half-width of the normal-approximation 95% confidence interval.
   double ci95_halfwidth() const;
 
+  /// Approximate quantile (histogram-backed; ~4.4% relative error, clamped
+  /// to the exact observed [min, max]). Returns 0 before the first add().
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+  /// LogBuckets counts; allocated on the first add().
+  std::vector<std::uint64_t> buckets_;
 };
 
 /// Immutable snapshot of a RunningStats, convenient for tables.
@@ -40,6 +79,9 @@ struct Summary {
   double min = 0.0;
   double max = 0.0;
   double ci95 = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
 };
 
 Summary summarize(const RunningStats& s);

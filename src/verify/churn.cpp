@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstddef>
 #include <fstream>
 #include <memory>
@@ -27,6 +28,7 @@
 #include <string>
 
 #include "core/scmp.hpp"
+#include "obs/span.hpp"
 #include "igmp/igmp.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
@@ -174,7 +176,13 @@ CheckOutcome ChurnModelChecker::replay(
   CheckOutcome outcome;
 
   auto audit_at = [&](int index) {
+    OBS_SPAN("verify.audit");
+    const auto t0 = std::chrono::steady_clock::now();
     outcome.violations = auditor.audit();
+    outcome.audit_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    ++outcome.audits;
     if (outcome.violations.empty()) return true;
     outcome.ok = false;
     outcome.failing_index = index;

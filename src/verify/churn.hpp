@@ -66,6 +66,8 @@ struct CheckOutcome {
   int executed = 0;        ///< events actually applied (guards may skip some)
   int failing_index = -1;  ///< index of the event whose audit failed
   std::vector<Violation> violations;
+  int audits = 0;             ///< invariant audits performed during replay
+  double audit_seconds = 0.0; ///< wall-clock time spent in those audits
 };
 
 class ChurnModelChecker {

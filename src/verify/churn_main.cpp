@@ -7,6 +7,10 @@
 //                    [--audit-stride=N] [--max-link-failures=N]
 //                    [--fault=<packet-type>[:nth]] [--dump-dir=DIR]
 //                    [--replay=TRACE] [--no-shrink] [--verbose]
+//                    [--metrics[=FILE]] [--trace[=BASE]]
+//
+// --metrics / --trace (obs::ObsSession) export the run's metrics and
+// per-audit spans; each run also reports its invariant-audit wall time.
 //
 // Default mode: for every event seed, generate + replay the churn sequence.
 // On a violation, shrink it to a minimal trace, dump the replayable artifact
@@ -18,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/session.hpp"
 #include "util/contracts.hpp"
 #include "verify/churn.hpp"
 
@@ -127,6 +132,11 @@ Options parse_args(int argc, char** argv) {
 }
 
 void print_outcome(const char* what, const CheckOutcome& outcome) {
+  if (outcome.audits > 0) {
+    std::printf("%s: %d audit(s), %.3f ms audit time (%.1f us/audit)\n", what,
+                outcome.audits, outcome.audit_seconds * 1e3,
+                outcome.audit_seconds * 1e6 / outcome.audits);
+  }
   if (outcome.ok) {
     std::printf("%s: OK (%d events executed, no violations)\n", what,
                 outcome.executed);
@@ -177,6 +187,7 @@ int check_mode(const Options& opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  scmp::obs::ObsSession obs(argc, argv);
   const Options opt = parse_args(argc, argv);
   if (!opt.parse_ok) return 2;
   if (!opt.replay_path.empty()) return replay_mode(opt);

@@ -1,0 +1,111 @@
+// Golden-file tests for the exporters, using the pure overloads with
+// hand-built samples so the expected text is exact and deterministic.
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace scmp::obs {
+namespace {
+
+MetricSample make_counter(const char* name, double value,
+                          const char* tag = "") {
+  MetricSample s;
+  s.name = name;
+  s.tag = tag;
+  s.kind = MetricKind::kCounter;
+  s.value = value;
+  return s;
+}
+
+TEST(ExportPrometheus, CounterAndGauge) {
+  MetricSample g;
+  g.name = "wfq.pending";
+  g.kind = MetricKind::kGauge;
+  g.value = 2.5;
+  std::ostringstream out;
+  write_prometheus(out, {make_counter("scmp.joins", 3), g});
+  EXPECT_EQ(out.str(),
+            "# TYPE scmp_scmp_joins_total counter\n"
+            "scmp_scmp_joins_total 3\n"
+            "# TYPE scmp_wfq_pending gauge\n"
+            "scmp_wfq_pending 2.5\n");
+}
+
+TEST(ExportPrometheus, TaggedSeriesShareOneTypeLine) {
+  std::ostringstream out;
+  write_prometheus(out, {make_counter("net.tx.packets", 10, "BRANCH"),
+                         make_counter("net.tx.packets", 7, "DATA")});
+  EXPECT_EQ(out.str(),
+            "# TYPE scmp_net_tx_packets_total counter\n"
+            "scmp_net_tx_packets_total{tag=\"BRANCH\"} 10\n"
+            "scmp_net_tx_packets_total{tag=\"DATA\"} 7\n");
+}
+
+TEST(ExportPrometheus, HistogramAsSummary) {
+  MetricSample h;
+  h.name = "wfq.queue_delay.seconds";
+  h.kind = MetricKind::kHistogram;
+  h.count = 4;
+  h.sum = 0.5;
+  h.p50 = 0.1;
+  h.p95 = 0.2;
+  h.p99 = 0.25;
+  std::ostringstream out;
+  write_prometheus(out, {h});
+  EXPECT_EQ(out.str(),
+            "# TYPE scmp_wfq_queue_delay_seconds summary\n"
+            "scmp_wfq_queue_delay_seconds{quantile=\"0.5\"} 0.1\n"
+            "scmp_wfq_queue_delay_seconds{quantile=\"0.95\"} 0.2\n"
+            "scmp_wfq_queue_delay_seconds{quantile=\"0.99\"} 0.25\n"
+            "scmp_wfq_queue_delay_seconds_sum 0.5\n"
+            "scmp_wfq_queue_delay_seconds_count 4\n");
+}
+
+TEST(ExportSpansJsonl, OneObjectPerLine) {
+  std::vector<SpanRecord> spans(2);
+  spans[0].name = "dcdm.join";
+  spans[0].start_ns = 100;
+  spans[0].dur_ns = 40;
+  spans[0].tid = 0;
+  spans[0].depth = 1;
+  spans[1].name = "scmp.install.branch";
+  spans[1].start_ns = 110;
+  spans[1].dur_ns = 5;
+  spans[1].tid = 2;
+  spans[1].depth = 2;
+  std::ostringstream out;
+  write_spans_jsonl(out, spans);
+  EXPECT_EQ(out.str(),
+            "{\"name\":\"dcdm.join\",\"start_ns\":100,\"dur_ns\":40,"
+            "\"tid\":0,\"depth\":1}\n"
+            "{\"name\":\"scmp.install.branch\",\"start_ns\":110,"
+            "\"dur_ns\":5,\"tid\":2,\"depth\":2}\n");
+}
+
+TEST(ExportChromeTrace, CompleteEventsMicroseconds) {
+  std::vector<SpanRecord> spans(1);
+  spans[0].name = "fabric.configure";
+  spans[0].start_ns = 1500;   // 1.5 us
+  spans[0].dur_ns = 250000;   // 250 us
+  spans[0].tid = 3;
+  spans[0].depth = 1;
+  std::ostringstream out;
+  write_chrome_trace(out, spans);
+  EXPECT_EQ(out.str(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+            "{\"name\":\"fabric.configure\",\"cat\":\"scmp\",\"ph\":\"X\","
+            "\"ts\":1.500,\"dur\":250.000,\"pid\":1,\"tid\":3}\n"
+            "]}\n");
+}
+
+TEST(ExportChromeTrace, EmptyIsStillValidJson) {
+  std::ostringstream out;
+  write_chrome_trace(out, {});
+  EXPECT_EQ(out.str(), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n");
+}
+
+}  // namespace
+}  // namespace scmp::obs

@@ -1,0 +1,122 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace scmp::obs {
+namespace {
+
+/// Every test runs with metrics on and a zeroed registry; the registry is
+/// process-wide, so names are namespaced per test where identity matters.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_metrics_enabled(true);
+    reset_values();
+  }
+  void TearDown() override { set_metrics_enabled(false); }
+};
+
+TEST_F(MetricsTest, CounterIncrements) {
+  Counter& c = counter("test.metrics.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST_F(MetricsTest, DisabledCounterIsInert) {
+  Counter& c = counter("test.metrics.disabled");
+  set_metrics_enabled(false);
+  c.inc(100);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(MetricsTest, RegistrationIsIdempotent) {
+  Counter& a = counter("test.metrics.same");
+  Counter& b = counter("test.metrics.same");
+  EXPECT_EQ(&a, &b);
+  // Distinct tags are distinct series.
+  Counter& t1 = counter("test.metrics.tagged", "A");
+  Counter& t2 = counter("test.metrics.tagged", "B");
+  EXPECT_NE(&t1, &t2);
+}
+
+TEST_F(MetricsTest, GaugeLastWriteWins) {
+  Gauge& g = gauge("test.metrics.gauge");
+  g.set(3.0);
+  g.set(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), -1.5);
+}
+
+TEST_F(MetricsTest, HistogramQuantiles) {
+  Histogram& h = histogram("test.metrics.hist");
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.sum(), 500500.0, 1e-6);
+  EXPECT_NEAR(h.quantile(0.5), 500.0, 500.0 * 0.06);
+  EXPECT_NEAR(h.quantile(0.99), 990.0, 990.0 * 0.06);
+}
+
+TEST_F(MetricsTest, HistogramUnderAndOverflow) {
+  Histogram& h = histogram("test.metrics.hist.edges");
+  h.observe(0.0);
+  h.observe(-5.0);
+  h.observe(1e300);
+  EXPECT_EQ(h.count(), 3u);
+  // Quantiles stay finite: underflow reports 0, overflow the range cap.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_TRUE(std::isfinite(h.quantile(1.0)));
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedAndComplete) {
+  counter("test.metrics.snap.b").inc(2);
+  counter("test.metrics.snap.a").inc(1);
+  histogram("test.metrics.snap.h").observe(0.25);
+  const auto samples = snapshot();
+  ASSERT_FALSE(samples.empty());
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LE(std::make_pair(samples[i - 1].name, samples[i - 1].tag),
+              std::make_pair(samples[i].name, samples[i].tag));
+  }
+  bool saw_a = false, saw_h = false;
+  for (const MetricSample& s : samples) {
+    if (s.name == "test.metrics.snap.a") {
+      saw_a = true;
+      EXPECT_EQ(s.kind, MetricKind::kCounter);
+      EXPECT_DOUBLE_EQ(s.value, 1.0);
+    }
+    if (s.name == "test.metrics.snap.h") {
+      saw_h = true;
+      EXPECT_EQ(s.kind, MetricKind::kHistogram);
+      EXPECT_EQ(s.count, 1u);
+      EXPECT_DOUBLE_EQ(s.sum, 0.25);
+    }
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_h);
+}
+
+TEST_F(MetricsTest, ResetValuesKeepsReferencesValid) {
+  Counter& c = counter("test.metrics.reset");
+  c.inc(7);
+  reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  EXPECT_EQ(c.value(), 1u);
+  EXPECT_EQ(&c, &counter("test.metrics.reset"));
+}
+
+TEST_F(MetricsTest, SpanStatsNaming) {
+  Histogram& h = span_stats("test.metrics.spanny");
+  h.observe(1.0);
+  bool found = false;
+  for (const MetricSample& s : snapshot()) {
+    if (s.name == "span.test.metrics.spanny.seconds") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace scmp::obs

@@ -1,0 +1,86 @@
+// Overhead guard for the "instrumentation stays in permanently" promise:
+// with metrics and tracing both off, OBS_SPAN and counter updates must not
+// touch the heap, and the instrumented DCDM hot path must allocate exactly
+// as much as an identical uninstrumented-equivalent run (i.e. the obs layer
+// adds zero allocations). Global operator new/delete are replaced with
+// counting versions — crude but exact.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/dcdm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "helpers.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_news{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace scmp::obs {
+namespace {
+
+std::uint64_t alloc_count() {
+  return g_news.load(std::memory_order_relaxed);
+}
+
+TEST(Overhead, DisabledInstrumentationNeverAllocates) {
+  set_metrics_enabled(false);
+  set_tracing_enabled(false);
+  // Warm up: the one-time registrations in the function-local statics are
+  // the only allocations the pattern is allowed.
+  static Counter& warm_counter = counter("test.overhead.counter");
+  static Histogram& warm_hist = histogram("test.overhead.hist");
+  { OBS_SPAN("test.overhead.span"); }
+  warm_counter.inc();
+  warm_hist.observe(1.0);
+
+  const std::uint64_t before = alloc_count();
+  for (int i = 0; i < 100000; ++i) {
+    OBS_SPAN("test.overhead.span");
+    warm_counter.inc();
+    warm_hist.observe(1.0);
+  }
+  EXPECT_EQ(alloc_count(), before);
+}
+
+TEST(Overhead, DcdmHotPathAllocStableWithMetricsOff) {
+  set_metrics_enabled(false);
+  set_tracing_enabled(false);
+  const graph::Graph g = test::random_topology(11).graph;
+  const graph::AllPairsPaths paths(g);
+
+  auto run = [&] {
+    core::DcdmTree tree(g, paths, 0);
+    for (graph::NodeId v = 1; v < g.num_nodes(); v += 2) tree.join(v);
+    for (graph::NodeId v = 1; v < g.num_nodes(); v += 4) tree.leave(v);
+  };
+
+  run();  // warm up one-time statics (span tls, cached metric registrations)
+  const std::uint64_t before = alloc_count();
+  run();
+  const std::uint64_t per_run = alloc_count() - before;
+  run();
+  // Identical runs must allocate identically: the obs layer contributes no
+  // per-operation heap traffic when disabled.
+  EXPECT_EQ(alloc_count() - before - per_run, per_run);
+}
+
+}  // namespace
+}  // namespace scmp::obs

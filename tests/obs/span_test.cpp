@@ -1,0 +1,116 @@
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace scmp::obs {
+namespace {
+
+/// Spans record into the process-wide sink; each test starts from a cleared
+/// sink with tracing on and metrics off, and restores both switches.
+class SpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_tracing_enabled(true);
+    set_metrics_enabled(false);
+    span_sink().clear();
+  }
+  void TearDown() override {
+    set_tracing_enabled(false);
+    span_sink().clear();
+  }
+};
+
+TEST_F(SpanTest, RecordsScopeWithDuration) {
+  {
+    OBS_SPAN("test.span.basic");
+  }
+  const auto spans = span_sink().snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "test.span.basic");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_GE(spans[0].start_ns + spans[0].dur_ns, spans[0].start_ns);
+}
+
+TEST_F(SpanTest, NestingDepthAndCompletionOrder) {
+  {
+    OBS_SPAN("test.span.outer");
+    {
+      OBS_SPAN("test.span.inner");
+      { OBS_SPAN("test.span.innermost"); }
+    }
+  }
+  const auto spans = span_sink().snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // Spans record on destruction, so the innermost completes first.
+  EXPECT_STREQ(spans[0].name, "test.span.innermost");
+  EXPECT_EQ(spans[0].depth, 3u);
+  EXPECT_STREQ(spans[1].name, "test.span.inner");
+  EXPECT_EQ(spans[1].depth, 2u);
+  EXPECT_STREQ(spans[2].name, "test.span.outer");
+  EXPECT_EQ(spans[2].depth, 1u);
+  // The outer span encloses the inner ones in time.
+  EXPECT_LE(spans[2].start_ns, spans[0].start_ns);
+  EXPECT_GE(spans[2].start_ns + spans[2].dur_ns,
+            spans[0].start_ns + spans[0].dur_ns);
+}
+
+TEST_F(SpanTest, DepthResetsBetweenTopLevelSpans) {
+  { OBS_SPAN("test.span.first"); }
+  { OBS_SPAN("test.span.second"); }
+  const auto spans = span_sink().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[1].depth, 1u);
+}
+
+TEST_F(SpanTest, RingBufferWrapsKeepingNewest) {
+  span_sink().set_capacity(8);
+  for (int i = 0; i < 20; ++i) {
+    OBS_SPAN("test.span.wrap");
+  }
+  EXPECT_EQ(span_sink().total_recorded(), 20u);
+  const auto spans = span_sink().snapshot();
+  ASSERT_EQ(spans.size(), 8u);
+  // Oldest first, and the retained records are the 8 newest: start times
+  // must be non-decreasing and the last one the most recent overall.
+  for (std::size_t i = 1; i < spans.size(); ++i)
+    EXPECT_GE(spans[i].start_ns, spans[i - 1].start_ns);
+  span_sink().set_capacity(SpanSink::kDefaultCapacity);
+}
+
+TEST_F(SpanTest, DisabledSpanRecordsNothing) {
+  set_tracing_enabled(false);
+  { OBS_SPAN("test.span.off"); }
+  EXPECT_TRUE(span_sink().snapshot().empty());
+  EXPECT_EQ(span_sink().total_recorded(), 0u);
+}
+
+TEST_F(SpanTest, MetricsOnlyModeFeedsHistogramNotSink) {
+  set_tracing_enabled(false);
+  set_metrics_enabled(true);
+  reset_values();
+  { OBS_SPAN("test.span.metrics_only"); }
+  EXPECT_TRUE(span_sink().snapshot().empty());
+  EXPECT_EQ(span_stats("test.span.metrics_only").count(), 1u);
+  set_metrics_enabled(false);
+}
+
+TEST_F(SpanTest, ThreadsGetDistinctSmallTids) {
+  { OBS_SPAN("test.span.main_thread"); }
+  std::thread t([] { OBS_SPAN("test.span.worker"); });
+  t.join();
+  const auto spans = span_sink().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_NE(spans[0].tid, spans[1].tid);
+  // Sequential ids stay small, unlike std::thread::id hashes.
+  EXPECT_LT(spans[0].tid, 1024u);
+  EXPECT_LT(spans[1].tid, 1024u);
+}
+
+}  // namespace
+}  // namespace scmp::obs

@@ -103,7 +103,7 @@ TEST_F(LinkLoadTest, IdleNetworkAdjustmentIsIdentity) {
 
 TEST_F(LinkLoadTest, TransmitCallbackSeesEveryCrossing) {
   int calls = 0;
-  net_.set_transmit_callback(
+  net_.add_transmit_observer(
       [&](graph::NodeId from, graph::NodeId to, const Packet&, SimTime) {
         ++calls;
         EXPECT_TRUE(g_.has_edge(from, to));

@@ -1,0 +1,98 @@
+// Regression test for the multi-observer transmit hook: TraceRecorder, a
+// custom tap, and the metrics layer all observe the same transmissions
+// without displacing each other (the old single set_transmit_callback
+// silently dropped the previous hook).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "helpers.hpp"
+#include "sim/network.hpp"
+#include "sim/trace.hpp"
+
+namespace scmp::sim {
+namespace {
+
+struct NullAgent final : RouterAgent {
+  void handle(const Packet&, graph::NodeId) override {}
+};
+
+class TransmitObserversTest : public ::testing::Test {
+ protected:
+  TransmitObserversTest() : g_(test::line(3)), net_(g_, queue_) {
+    for (graph::NodeId v = 0; v < g_.num_nodes(); ++v) net_.attach(v, &agent_);
+  }
+  graph::Graph g_;
+  EventQueue queue_;
+  Network net_;
+  NullAgent agent_;
+};
+
+TEST_F(TransmitObserversTest, ChainInRegistrationOrder) {
+  std::vector<int> order;
+  net_.add_transmit_observer(
+      [&order](graph::NodeId, graph::NodeId, const Packet&, SimTime) {
+        order.push_back(1);
+      });
+  net_.add_transmit_observer(
+      [&order](graph::NodeId, graph::NodeId, const Packet&, SimTime) {
+        order.push_back(2);
+      });
+  EXPECT_EQ(net_.transmit_observer_count(), 2u);
+
+  Packet p;
+  net_.send_link(0, 1, p);
+  queue_.run_all();
+
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST_F(TransmitObserversTest, TraceRecorderCoexistsWithCustomTap) {
+  TraceRecorder trace(net_);  // registers its own observer
+  int tapped = 0;
+  net_.add_transmit_observer(
+      [&tapped](graph::NodeId, graph::NodeId, const Packet&, SimTime) {
+        ++tapped;
+      });
+  EXPECT_EQ(net_.transmit_observer_count(), 2u);
+
+  Packet p;
+  net_.send_link(0, 1, p);
+  net_.send_link(1, 2, p);
+  queue_.run_all();
+
+  // Both saw both transmissions.
+  EXPECT_EQ(tapped, 2);
+  EXPECT_EQ(trace.events().size(), 2u);
+}
+
+TEST_F(TransmitObserversTest, SecondRecorderDoesNotDisplaceFirst) {
+  TraceRecorder first(net_);
+  TraceRecorder second(net_);
+  Packet p;
+  p.dst = 2;
+  net_.send_unicast(0, p);  // 0 -> 1 -> 2: two link crossings
+  queue_.run_all();
+  EXPECT_EQ(first.events().size(), 2u);
+  EXPECT_EQ(second.events().size(), 2u);
+}
+
+TEST_F(TransmitObserversTest, ObserversSeeEveryUnicastHop) {
+  int hops = 0;
+  net_.add_transmit_observer(
+      [this, &hops](graph::NodeId from, graph::NodeId to, const Packet&,
+                    SimTime) {
+        ++hops;
+        EXPECT_TRUE(g_.has_edge(from, to));
+      });
+  Packet p;
+  p.dst = 2;
+  net_.send_unicast(0, p);
+  queue_.run_all();
+  EXPECT_EQ(hops, 2);
+}
+
+}  // namespace
+}  // namespace scmp::sim

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/rng.hpp"
@@ -86,6 +87,109 @@ TEST(Median, SingleElement) { EXPECT_DOUBLE_EQ(median({42.0}), 42.0); }
 
 TEST(Median, Duplicates) {
   EXPECT_DOUBLE_EQ(median({5.0, 5.0, 5.0, 5.0}), 5.0);
+}
+
+// ---- LogBuckets / histogram quantiles -------------------------------------
+
+TEST(LogBuckets, IndexEdgeCases) {
+  EXPECT_EQ(LogBuckets::index(0.0), 0);
+  EXPECT_EQ(LogBuckets::index(-1.0), 0);
+  EXPECT_EQ(LogBuckets::index(std::nan("")), 0);
+  EXPECT_EQ(LogBuckets::index(std::ldexp(1.0, LogBuckets::kMaxExp)),
+            LogBuckets::kCount - 1);
+  EXPECT_EQ(LogBuckets::index(1e300), LogBuckets::kCount - 1);
+  // Anything below 2^kMinExp underflows.
+  EXPECT_EQ(LogBuckets::index(std::ldexp(1.0, LogBuckets::kMinExp - 1)), 0);
+}
+
+TEST(LogBuckets, IndexIsMonotone) {
+  int prev = LogBuckets::index(1e-12);
+  for (double x = 1e-12; x < 1e7; x *= 1.07) {
+    const int i = LogBuckets::index(x);
+    EXPECT_GE(i, prev) << "x=" << x;
+    EXPECT_GE(i, 1);
+    EXPECT_LE(i, LogBuckets::kCount - 2);
+    prev = i;
+  }
+}
+
+TEST(LogBuckets, RepresentativeWithinBucketBounds) {
+  for (double x : {1e-9, 3.7e-4, 0.5, 1.0, 42.0, 9.9e6}) {
+    const int i = LogBuckets::index(x);
+    const double rep = LogBuckets::representative(i);
+    EXPECT_GE(rep, LogBuckets::lower(i));
+    EXPECT_LT(rep, LogBuckets::lower(i + 1));
+  }
+}
+
+TEST(RunningStats, QuantileAccuracyUniform) {
+  // Against a known uniform distribution the histogram quantiles must land
+  // within the documented ~4.4% relative bucket error (plus sampling noise).
+  Rng rng(42);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.uniform_real(0.0, 1000.0));
+  EXPECT_NEAR(s.p50(), 500.0, 500.0 * 0.06);
+  EXPECT_NEAR(s.p95(), 950.0, 950.0 * 0.06);
+  EXPECT_NEAR(s.p99(), 990.0, 990.0 * 0.06);
+}
+
+TEST(RunningStats, QuantileAccuracyLogNormalish) {
+  // Heavily skewed data spanning many octaves — exactly what the log layout
+  // is for. Compare against the exact empirical quantiles.
+  Rng rng(7);
+  std::vector<double> xs;
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = std::exp(rng.uniform_real(-5.0, 10.0));
+    xs.push_back(x);
+    s.add(x);
+  }
+  std::sort(xs.begin(), xs.end());
+  for (double q : {0.50, 0.95, 0.99}) {
+    const double exact =
+        xs[static_cast<std::size_t>(q * (xs.size() - 1))];
+    EXPECT_NEAR(s.quantile(q), exact, exact * 0.06) << "q=" << q;
+  }
+}
+
+TEST(RunningStats, QuantileClampedToObservedRange) {
+  RunningStats s;
+  s.add(3.0);
+  s.add(5.0);
+  EXPECT_GE(s.quantile(0.0), 3.0);
+  EXPECT_LE(s.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(RunningStats{}.quantile(0.5), 0.0);
+}
+
+TEST(RunningStats, QuantileSingleValue) {
+  RunningStats s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.p50(), 7.0);
+  EXPECT_DOUBLE_EQ(s.p99(), 7.0);
+}
+
+TEST(QuantileFromCounts, EmptyAndSimple) {
+  std::vector<std::uint64_t> counts(
+      static_cast<std::size_t>(LogBuckets::kCount), 0);
+  EXPECT_DOUBLE_EQ(quantile_from_counts(counts, 0.5), 0.0);
+  const int i1 = LogBuckets::index(1.0);
+  const int i8 = LogBuckets::index(8.0);
+  counts[static_cast<std::size_t>(i1)] = 99;
+  counts[static_cast<std::size_t>(i8)] = 1;
+  // p50 falls in the bucket of 1.0, p995+ in the bucket of 8.0.
+  EXPECT_DOUBLE_EQ(quantile_from_counts(counts, 0.5),
+                   LogBuckets::representative(i1));
+  EXPECT_DOUBLE_EQ(quantile_from_counts(counts, 0.999),
+                   LogBuckets::representative(i8));
+}
+
+TEST(Summarize, CarriesQuantiles) {
+  RunningStats s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  const Summary sum = summarize(s);
+  EXPECT_NEAR(sum.p50, 50.0, 50.0 * 0.06);
+  EXPECT_NEAR(sum.p95, 95.0, 95.0 * 0.06);
+  EXPECT_NEAR(sum.p99, 99.0, 99.0 * 0.06);
 }
 
 }  // namespace

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Validates BENCH_*.json files against the scmp-bench-v1 schema.
+
+Every bench binary (bench/) writes one such file per run when invoked with
+``--json <dir>`` or with SCMP_BENCH_JSON_DIR set (see bench/bench_common.hpp
+and docs/observability.md). CI's bench-smoke job runs this validator over the
+emitted files before uploading them as artifacts, so a schema regression
+fails the build rather than silently breaking downstream plotting.
+
+Schema "scmp-bench-v1":
+
+  {
+    "schema": "scmp-bench-v1",
+    "bench": "<name>",               # matches the BENCH_<name>.json filename
+    "points": [
+      {"series": str, "x": number,
+       "count": non-negative int,
+       "mean": number|null, "ci95": number|null,
+       "p50": number|null, "p95": number|null, "p99": number|null,
+       "min": number|null, "max": number|null},
+      ...
+    ]
+  }
+
+null is the JSON spelling of a non-finite statistic (e.g. min/max of an
+empty distribution). Extra keys are rejected: the schema is versioned, so
+additions belong in a v2.
+
+Usage: tools/check_bench_json.py FILE_OR_DIR [...]
+With a directory argument, validates every BENCH_*.json inside. Exits
+non-zero on any violation (or when a directory contains no bench files).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+NUMERIC_OR_NULL = ("mean", "ci95", "p50", "p95", "p99", "min", "max")
+POINT_KEYS = {"series", "x", "count", *NUMERIC_OR_NULL}
+
+
+def is_number(v) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    errors: list[str] = []
+
+    def err(msg: str):
+        errors.append(f"{path}: {msg}")
+
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable or invalid JSON: {exc}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level must be a JSON object"]
+    if set(doc) != {"schema", "bench", "points"}:
+        err(f"top-level keys must be schema/bench/points, got {sorted(doc)}")
+    if doc.get("schema") != "scmp-bench-v1":
+        err(f"schema must be \"scmp-bench-v1\", got {doc.get('schema')!r}")
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench:
+        err("bench must be a non-empty string")
+    elif path.name != f"BENCH_{bench}.json":
+        err(f"bench name {bench!r} disagrees with filename {path.name}")
+
+    points = doc.get("points")
+    if not isinstance(points, list):
+        return errors + [f"{path}: points must be a list"]
+    for i, p in enumerate(points):
+        where = f"points[{i}]"
+        if not isinstance(p, dict):
+            err(f"{where}: must be an object")
+            continue
+        if set(p) != POINT_KEYS:
+            err(f"{where}: keys must be {sorted(POINT_KEYS)}, got {sorted(p)}")
+            continue
+        if not isinstance(p["series"], str) or not p["series"]:
+            err(f"{where}: series must be a non-empty string")
+        if not is_number(p["x"]):
+            err(f"{where}: x must be a number")
+        if not isinstance(p["count"], int) or isinstance(p["count"], bool) \
+                or p["count"] < 0:
+            err(f"{where}: count must be a non-negative integer")
+        for key in NUMERIC_OR_NULL:
+            if p[key] is not None and not is_number(p[key]):
+                err(f"{where}: {key} must be a number or null")
+    return errors
+
+
+def collect(arg: str) -> list[pathlib.Path]:
+    path = pathlib.Path(arg)
+    if path.is_dir():
+        return sorted(path.glob("BENCH_*.json"))
+    return [path]
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    files: list[pathlib.Path] = []
+    for arg in argv:
+        found = collect(arg)
+        if not found:
+            print(f"{arg}: no BENCH_*.json files", file=sys.stderr)
+            return 1
+        files.extend(found)
+    errors: list[str] = []
+    for f in files:
+        errors.extend(check_file(f))
+    for e in errors:
+        print(e)
+    if errors:
+        print(f"check_bench_json.py: {len(errors)} violation(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"check_bench_json.py: {len(files)} file(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

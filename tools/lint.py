@@ -25,6 +25,13 @@ Rules (each failure prints ``file:line: rule-id: message``):
                    Adding a mutating entry point to src/core/scmp.hpp or
                    src/fabric/mrouter_fabric.hpp fails lint until the
                    verification catalog covers it.
+  obs-hygiene      every metric name passed to obs::counter/gauge/histogram
+                   and every OBS_SPAN label in src/ (outside src/obs/ itself),
+                   bench/ and examples/ is declared with the matching kind in
+                   src/obs/metrics_manifest.json, and every declared entry is
+                   still used somewhere — instrumentation and manifest cannot
+                   drift apart in either direction. tests/ is exempt: tests
+                   exercise the registry with throwaway "test.*" names.
 
 Usage: tools/lint.py [--root REPO_ROOT]
 Exits non-zero when any finding is reported.
@@ -51,12 +58,18 @@ LOCAL_INCLUDE_OK = {"helpers.hpp", "bench_common.hpp"}
 VERIFY_MANIFEST = "src/verify/coverage_manifest.json"
 VERIFY_INVARIANTS_HPP = "src/verify/invariants.hpp"
 
+# The observability-surface manifest the obs-hygiene rule cross-checks.
+OBS_MANIFEST = "src/obs/metrics_manifest.json"
+
 CONTRACT_RE = re.compile(r"\bSCMP_(EXPECTS|ENSURES|ASSERT)\s*\(")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 NEW_RE = re.compile(r"\bnew\b\s*(?:\(|\[|[A-Za-z_:<])")
 DELETE_RE = re.compile(r"(?<![=\w])\s*\bdelete\b\s*(?:\[\s*\])?\s*[A-Za-z_(*]")
 ABORT_RE = re.compile(r"\b(?:std\s*::\s*)?(abort|_Exit|quick_exit|exit)\s*\(")
 USING_NS_RE = re.compile(r"^\s*using\s+namespace\b")
+OBS_SPAN_RE = re.compile(r'\bOBS_SPAN\s*\(\s*"([^"]+)"')
+OBS_METRIC_RE = re.compile(
+    r'\bobs\s*::\s*(counter|gauge|histogram)\s*\(\s*"([^"]+)"')
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -125,6 +138,54 @@ def strip_comments_and_strings(text: str) -> str:
             out.append("\n" * text.count("\n", i, end + len(raw_delim)))
             i = end + len(raw_delim)
             continue
+        i += 1
+    return "".join(out)
+
+
+def strip_comments(text: str) -> str:
+    """Blanks out comments only, preserving string literals and line
+    structure — for rules that inspect the literals themselves (obs-hygiene
+    reads metric/span names out of call arguments)."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+            elif c == "'":
+                state = "chr"
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        else:  # str | chr
+            quote = '"' if state == "str" else "'"
+            if c == "\\" and i + 1 < n:
+                out.append(text[i:i + 2])
+                i += 2
+                continue
+            if c == quote or c == "\n":
+                state = "code"
+            out.append(c)
         i += 1
     return "".join(out)
 
@@ -368,6 +429,63 @@ class Linter:
                             manifest_path, 1, "verify-hygiene",
                             f"{cls}::{name}: unknown invariant id '{inv}'")
 
+    def check_obs_hygiene(self):
+        manifest_path = self.root / OBS_MANIFEST
+        if not manifest_path.is_file():
+            self.report(manifest_path, 1, "obs-hygiene",
+                        "metrics manifest is missing")
+            return
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as err:
+            self.report(manifest_path, getattr(err, "lineno", 1),
+                        "obs-hygiene", f"manifest is not valid JSON: {err}")
+            return
+        declared_metrics = {m["name"]: m.get("kind", "")
+                            for m in manifest.get("metrics", [])}
+        declared_spans = {s["name"] for s in manifest.get("spans", [])}
+
+        used_metrics: dict[tuple[str, str], tuple[pathlib.Path, int]] = {}
+        used_spans: dict[str, tuple[pathlib.Path, int]] = {}
+        obs_dir = self.root / "src" / "obs"
+        for d in (self.root / "src", self.root / "bench",
+                  self.root / "examples"):
+            for path in sorted(d.rglob("*")):
+                if path.suffix not in (".cpp", ".hpp"):
+                    continue
+                if obs_dir in path.parents:
+                    continue  # the layer itself, incl. span.<name>.seconds
+                code = strip_comments(path.read_text(encoding="utf-8"))
+                for lineno, line in enumerate(code.splitlines(), 1):
+                    for kind, name in OBS_METRIC_RE.findall(line):
+                        used_metrics.setdefault((name, kind), (path, lineno))
+                    for name in OBS_SPAN_RE.findall(line):
+                        used_spans.setdefault(name, (path, lineno))
+
+        for (name, kind), (path, lineno) in sorted(used_metrics.items()):
+            if name not in declared_metrics:
+                self.report(path, lineno, "obs-hygiene",
+                            f'metric "{name}" is not declared in '
+                            f"{OBS_MANIFEST}")
+            elif declared_metrics[name] != kind:
+                self.report(
+                    path, lineno, "obs-hygiene",
+                    f'metric "{name}" used as a {kind} but declared as a '
+                    f"{declared_metrics[name]} in {OBS_MANIFEST}")
+        for name, (path, lineno) in sorted(used_spans.items()):
+            if name not in declared_spans:
+                self.report(path, lineno, "obs-hygiene",
+                            f'span "{name}" is not declared in '
+                            f"{OBS_MANIFEST}")
+        used_metric_names = {name for name, _ in used_metrics}
+        for name in sorted(set(declared_metrics) - used_metric_names):
+            self.report(manifest_path, 1, "obs-hygiene",
+                        f'stale manifest metric "{name}": no obs::counter/'
+                        "gauge/histogram call uses it")
+        for name in sorted(declared_spans - set(used_spans)):
+            self.report(manifest_path, 1, "obs-hygiene",
+                        f'stale manifest span "{name}": no OBS_SPAN uses it')
+
     def _registered_invariants(self) -> list[str] | None:
         """The string values of the constants listed in kInvariantIds."""
         hpp = self.root / VERIFY_INVARIANTS_HPP
@@ -414,6 +532,7 @@ class Linter:
                     self.check_pragma_once(path, code)
                     self.check_header_using(path, code)
         self.check_verify_hygiene()
+        self.check_obs_hygiene()
         for f in self.findings:
             print(f)
         if self.findings:
