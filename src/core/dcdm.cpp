@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -15,8 +16,14 @@ DcdmTree::DcdmTree(const graph::Graph& g, const graph::AllPairsPaths& paths,
       cfg_(cfg),
       tree_(root, g.num_nodes()),
       admitted_bound_(static_cast<std::size_t>(g.num_nodes()),
-                      std::numeric_limits<double>::quiet_NaN()) {
+                      std::numeric_limits<double>::quiet_NaN()),
+      scratch_old_parent_(static_cast<std::size_t>(g.num_nodes()),
+                          graph::kInvalidNode),
+      scratch_was_on_tree_(static_cast<std::size_t>(g.num_nodes()), 0),
+      scratch_old_delay_(static_cast<std::size_t>(g.num_nodes()),
+                         std::numeric_limits<double>::quiet_NaN()) {
   SCMP_EXPECTS(cfg.delay_slack >= 1.0);
+  scratch_graft_.reserve(static_cast<std::size_t>(g.num_nodes()));
 }
 
 double DcdmTree::admitted_bound(graph::NodeId m) const {
@@ -37,8 +44,9 @@ double DcdmTree::unicast_delay(graph::NodeId v) const {
 double DcdmTree::delay_bound_for(graph::NodeId joining) const {
   if (cfg_.delay_slack == kLoosest) return kLoosest;
   double max_ul = unicast_delay(joining);
-  for (graph::NodeId m : tree_.members())
-    max_ul = std::max(max_ul, unicast_delay(m));
+  for (graph::NodeId m = 0; m < g_->num_nodes(); ++m) {
+    if (tree_.is_member(m)) max_ul = std::max(max_ul, unicast_delay(m));
+  }
   return std::max(cfg_.delay_slack * max_ul, tree_.tree_delay(*g_));
 }
 
@@ -62,70 +70,91 @@ JoinResult DcdmTree::join(graph::NodeId s) {
 
   // Candidate selection over the 2m precomputed paths (P_sl and P_lc from
   // every on-tree node t to s): cheapest feasible, ties broken by smaller
-  // multicast delay, then by smaller graft-node id (deterministic).
-  struct Candidate {
-    double cost = 0.0;
-    double ml = 0.0;
-    graph::NodeId graft = graph::kInvalidNode;
-    std::vector<graph::NodeId> path;
-  };
-  Candidate best;
+  // multicast delay, then by smaller graft-node id (deterministic). Every
+  // candidate is scored from the dual-weight tables — the same source-to-
+  // destination accumulation Dijkstra ran, so bit-identical to re-walking
+  // the materialized path — and only the winner is materialized below.
+  double best_cost = 0.0;
+  double best_ml = 0.0;
+  graph::NodeId best_graft = graph::kInvalidNode;
+  bool best_is_sl = false;
   bool have_best = false;
-  auto consider = [&](graph::NodeId t, std::vector<graph::NodeId> path) {
-    if (path.empty()) return;
-    const double pd = graph::path_weight(*g_, path, graph::Metric::kDelay);
-    const double ml = tree_.node_delay(*g_, t) + pd;
+  std::uint64_t candidates = 0;
+  const auto consider = [&](graph::NodeId t, double td, double pd, double pc,
+                            bool is_sl) {
+    if (std::isinf(pd)) return;  // s unreachable from t
+    ++candidates;
+    const double ml = td + pd;
     if (ml > bound) return;
-    const double pc = graph::path_weight(*g_, path, graph::Metric::kCost);
     const bool better =
-        !have_best || pc < best.cost ||
-        (pc == best.cost && (ml < best.ml ||
-                             (ml == best.ml && t < best.graft)));
+        !have_best || pc < best_cost ||
+        (pc == best_cost &&
+         (ml < best_ml || (ml == best_ml && t < best_graft)));
     if (better) {
-      best = Candidate{pc, ml, t, std::move(path)};
+      best_cost = pc;
+      best_ml = ml;
+      best_graft = t;
+      best_is_sl = is_sl;
       have_best = true;
     }
   };
-  for (graph::NodeId t : tree_.on_tree_nodes()) {
-    consider(t, paths_->sl_path(t, s));
-    consider(t, paths_->lc_path(t, s));
+  for (graph::NodeId t = 0; t < g_->num_nodes(); ++t) {
+    if (!tree_.on_tree(t)) continue;
+    const double td = tree_.node_delay(*g_, t);
+    consider(t, td, paths_->sl_delay(t, s), paths_->sl_cost(t, s), true);
+    consider(t, td, paths_->lc_delay(t, s), paths_->lc_cost(t, s), false);
   }
+  static obs::Counter& candidates_scanned = obs::counter("dcdm.join.candidates");
+  candidates_scanned.inc(candidates);
   // The shortest-delay path from the root is always feasible
   // (ml = ul(s) <= slack * max_ul <= bound), so a candidate must exist.
   SCMP_ASSERT(have_best);
+  if (best_is_sl) {
+    paths_->sl_path_into(best_graft, s, scratch_graft_);
+  } else {
+    paths_->lc_path_into(best_graft, s, scratch_graft_);
+  }
 
   // Snapshot parents to detect loop-elimination restructuring, and member
   // delays so restructure-moved members can be re-admitted at their new
-  // multicast delay.
-  std::vector<graph::NodeId> old_parent(
-      static_cast<std::size_t>(g_->num_nodes()), graph::kInvalidNode);
-  std::vector<char> was_on_tree(static_cast<std::size_t>(g_->num_nodes()), 0);
-  for (graph::NodeId v : tree_.on_tree_nodes()) {
-    was_on_tree[static_cast<std::size_t>(v)] = 1;
-    old_parent[static_cast<std::size_t>(v)] = tree_.parent(v);
+  // multicast delay. One pass fully re-initializes every scratch slot, so
+  // stale values from earlier joins never leak into this one.
+  for (graph::NodeId v = 0; v < g_->num_nodes(); ++v) {
+    const auto idx = static_cast<std::size_t>(v);
+    if (tree_.on_tree(v)) {
+      scratch_was_on_tree_[idx] = 1;
+      scratch_old_parent_[idx] = tree_.parent(v);
+      scratch_old_delay_[idx] = tree_.is_member(v)
+                                    ? tree_.node_delay(*g_, v)
+                                    : std::numeric_limits<double>::quiet_NaN();
+    } else {
+      scratch_was_on_tree_[idx] = 0;
+      scratch_old_parent_[idx] = graph::kInvalidNode;
+      scratch_old_delay_[idx] = std::numeric_limits<double>::quiet_NaN();
+    }
   }
-  std::vector<std::pair<graph::NodeId, double>> old_member_delay;
-  for (graph::NodeId m : tree_.members())
-    old_member_delay.emplace_back(m, tree_.node_delay(*g_, m));
 
-  tree_.graft_path(best.path);
+  tree_.graft_path(scratch_graft_);
   tree_.set_member(s, true);
   record_admission(s, bound);
-  for (const auto& [m, before] : old_member_delay) {
+  for (graph::NodeId m = 0; m < g_->num_nodes(); ++m) {
+    const double before = scratch_old_delay_[static_cast<std::size_t>(m)];
+    if (std::isnan(before)) continue;  // was not a member pre-graft
     const double after = tree_.node_delay(*g_, m);
     if (after != before) {
       record_admission(
           m, std::max(admitted_bound_[static_cast<std::size_t>(m)], after));
     }
   }
-  result.graft_path = std::move(best.path);
+  result.graft_path = scratch_graft_;
 
   for (graph::NodeId v = 0; v < g_->num_nodes(); ++v) {
-    if (!was_on_tree[static_cast<std::size_t>(v)]) continue;
+    if (!scratch_was_on_tree_[static_cast<std::size_t>(v)]) continue;
     if (!tree_.on_tree(v)) {
       result.removed_nodes.push_back(v);
       result.restructured = true;
-    } else if (tree_.parent(v) != old_parent[static_cast<std::size_t>(v)]) {
+    } else if (tree_.parent(v) !=
+               scratch_old_parent_[static_cast<std::size_t>(v)]) {
       result.restructured = true;
     }
   }
@@ -147,14 +176,14 @@ LeaveResult DcdmTree::leave(graph::NodeId s) {
   admitted_bound_[static_cast<std::size_t>(s)] =
       std::numeric_limits<double>::quiet_NaN();
 
-  std::vector<char> was_on_tree(static_cast<std::size_t>(g_->num_nodes()), 0);
-  for (graph::NodeId v : tree_.on_tree_nodes())
-    was_on_tree[static_cast<std::size_t>(v)] = 1;
+  for (graph::NodeId v = 0; v < g_->num_nodes(); ++v)
+    scratch_was_on_tree_[static_cast<std::size_t>(v)] =
+        tree_.on_tree(v) ? 1 : 0;
 
   tree_.prune_upward_from(s);
 
   for (graph::NodeId v = 0; v < g_->num_nodes(); ++v) {
-    if (was_on_tree[static_cast<std::size_t>(v)] && !tree_.on_tree(v))
+    if (scratch_was_on_tree_[static_cast<std::size_t>(v)] && !tree_.on_tree(v))
       result.removed_nodes.push_back(v);
   }
   SCMP_ENSURES(tree_.validate(*g_));

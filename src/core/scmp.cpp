@@ -437,9 +437,25 @@ void Scmp::fail_over(graph::NodeId failed, graph::NodeId standby,
 void Scmp::on_topology_change() {
   OBS_SPAN("scmp.topology_change");
   // The m-routers' link-state view reconverged: refresh the global path
-  // database (P_sl / P_lc), then recompute and reinstall every group tree.
-  paths_ = graph::AllPairsPaths(net().graph());
-  rebuild_trees(active_groups(), nullptr);
+  // database (P_sl / P_lc) — on the registered compute pool's workers when
+  // one is set (one source per task) — then recompute and reinstall every
+  // group tree.
+  paths_.rebuild(net().graph(),
+                 pool_ != nullptr ? pool_->parallel_for()
+                                  : graph::ParallelFor{});
+  rebuild_trees(active_groups(), pool_);
+}
+
+int Scmp::handle_link_event(graph::NodeId u, graph::NodeId v) {
+  OBS_SPAN("scmp.link_event");
+  // Single-link change: patch the path database incrementally (only dirty
+  // sources re-run Dijkstra; the result is bit-identical to a from-scratch
+  // rebuild), then recompute and reinstall the group trees as usual.
+  const int recomputed = paths_.apply_link_event(
+      net().graph(), u, v,
+      pool_ != nullptr ? pool_->parallel_for() : graph::ParallelFor{});
+  rebuild_trees(active_groups(), pool_);
+  return recomputed;
 }
 
 // ---------------------------------------------------------------------------

@@ -85,6 +85,24 @@ class Scmp final : public proto::MulticastProtocol {
   /// service-centric repair story: no other router runs any algorithm.
   void on_topology_change() override;
 
+  /// Incremental variant of on_topology_change() for a single link event
+  /// (failure, addition or re-weighting of edge {u, v}): only the sources
+  /// whose cached shortest-path runs the event can affect are re-run
+  /// (graph::AllPairsPaths::apply_link_event's dirty-source test); the
+  /// resulting path database is bit-identical to a from-scratch rebuild.
+  /// Group trees are then rebuilt as in on_topology_change(). Returns the
+  /// number of sources recomputed.
+  int handle_link_event(graph::NodeId u, graph::NodeId v);
+
+  /// Registers a compute pool whose worker threads run the path-database
+  /// refreshes and per-group tree rebuilds triggered by topology changes
+  /// (one Dijkstra source per task, §II-B). The pool must outlive the
+  /// registration; nullptr (the default) reverts to serial.
+  void set_compute_pool(const TreeComputePool* pool) { pool_ = pool; }
+
+  /// The m-routers' global dual-weight path database (P_sl / P_lc).
+  const graph::AllPairsPaths& paths() const { return paths_; }
+
   /// Tears down a whole multicast session (paper §II-C): clears the installed
   /// state of every on-tree router, drops the tree and revokes the address.
   void end_group_session(GroupId group);
@@ -209,6 +227,8 @@ class Scmp final : public proto::MulticastProtocol {
   /// terminal or TREE install) its downstream interfaces are taken from the
   /// IGMP state, which subsumes the paper's "marked interface" bookkeeping.
   std::vector<std::map<GroupId, Entry>> entries_;
+  /// Optional worker pool for topology-change recomputation (not owned).
+  const TreeComputePool* pool_ = nullptr;
   TransitModel transit_model_;
   double session_idle_expiry_ = 0.0;  ///< 0 = sessions never auto-expire
 };

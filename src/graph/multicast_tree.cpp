@@ -166,8 +166,13 @@ double MulticastTree::node_delay(const Graph& g, NodeId v) const {
 }
 
 double MulticastTree::tree_delay(const Graph& g) const {
+  // Flag scan instead of members(): this sits on DCDM's per-join bound
+  // computation and must not allocate.
   double worst = 0.0;
-  for (NodeId v : members()) worst = std::max(worst, node_delay(g, v));
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (member_[static_cast<std::size_t>(v)])
+      worst = std::max(worst, node_delay(g, v));
+  }
   return worst;
 }
 

@@ -2,8 +2,22 @@
 // tree (P_sl paths) and the least-cost tree (P_lc paths). The paper's DCDM
 // algorithm consults exactly these 2m candidate paths per join (§III-D), and
 // the m-router is assumed to have them precomputed from its global topology DB.
+//
+// Each per-source run carries dual weights (see dijkstra.hpp), so both the
+// optimized and the companion metric of every candidate path are O(1) table
+// lookups: sl_delay/sl_cost for P_sl, lc_delay/lc_cost for P_lc.
+//
+// The database is rebuildable in place. rebuild() recomputes every source —
+// optionally fanning the per-source Dijkstra runs out over a caller-supplied
+// parallel-for executor (one source per task; the m-router's TreeComputePool
+// provides one). apply_link_event() handles a single changed/failed/added
+// link incrementally: a source is re-run only when the edge lies on its
+// cached shortest-path tree (parent-edge membership) or, for a present edge,
+// when relaxing it would improve or re-canonicalize a path — every other
+// source's cached run is provably still the canonical answer.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "graph/dijkstra.hpp"
@@ -11,19 +25,48 @@
 
 namespace scmp::graph {
 
+/// Parallel-for executor shape: pf(count, fn) must invoke fn(i) exactly once
+/// for every i in [0, count), in any order, on any threads, and return only
+/// after all invocations finished. An empty function means "run serially".
+using ParallelFor =
+    std::function<void(std::size_t, const std::function<void(std::size_t)>&)>;
+
 class AllPairsPaths {
  public:
-  explicit AllPairsPaths(const Graph& g);
+  explicit AllPairsPaths(const Graph& g, const ParallelFor& pf = {});
+
+  /// Recomputes every source from `g` in place (the m-routers' link-state
+  /// view reconverged wholesale). With `pf`, sources run in parallel; the
+  /// result is bit-identical to a serial rebuild.
+  void rebuild(const Graph& g, const ParallelFor& pf = {});
+
+  /// Incremental update after the single link {u, v} changed: failed, came
+  /// up, or changed weight. `g` is the post-event graph. Re-runs Dijkstra
+  /// only for the (source, metric) runs the event can actually affect and
+  /// returns how many runs were recomputed (the paths.rebuild.sources_
+  /// recomputed counter tracks the same quantity). The result is always
+  /// bit-identical to a from-scratch rebuild on `g`.
+  int apply_link_event(const Graph& g, NodeId u, NodeId v,
+                       const ParallelFor& pf = {});
 
   /// Delay of the shortest-delay path u->v (the paper's "unicast delay").
   double sl_delay(NodeId u, NodeId v) const;
+  /// Cost of that same shortest-delay path (companion weight).
+  double sl_cost(NodeId u, NodeId v) const;
   /// Cost of the least-cost path u->v.
   double lc_cost(NodeId u, NodeId v) const;
+  /// Delay of that same least-cost path (companion weight).
+  double lc_delay(NodeId u, NodeId v) const;
 
   /// The P_sl path u..v (shortest delay).
   std::vector<NodeId> sl_path(NodeId u, NodeId v) const;
   /// The P_lc path u..v (least cost).
   std::vector<NodeId> lc_path(NodeId u, NodeId v) const;
+
+  /// sl_path()/lc_path() into a caller-owned buffer (no allocation once the
+  /// buffer's capacity covers the path).
+  void sl_path_into(NodeId u, NodeId v, std::vector<NodeId>& out) const;
+  void lc_path_into(NodeId u, NodeId v, std::vector<NodeId>& out) const;
 
   const ShortestPaths& sl_from(NodeId u) const;
   const ShortestPaths& lc_from(NodeId u) const;
@@ -31,6 +74,11 @@ class AllPairsPaths {
   int num_nodes() const { return static_cast<int>(by_delay_.size()); }
 
  private:
+  /// True when the cached run `sp` must be recomputed after link {u, v}
+  /// changed; `attr` is the edge's post-event attributes (nullptr = gone).
+  static bool run_dirty(const ShortestPaths& sp, NodeId u, NodeId v,
+                        const EdgeAttr* attr);
+
   std::vector<ShortestPaths> by_delay_;
   std::vector<ShortestPaths> by_cost_;
 };

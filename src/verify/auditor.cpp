@@ -21,6 +21,10 @@ std::vector<Violation> InvariantAuditor::audit() const {
     const ScmpSnapshot snap = take_snapshot(*scmp);
     for (const GroupSnapshot& group : snap.groups)
       check_group(group, scmp->net().graph(), out);
+    // Oracle check: the incrementally-maintained path database must match a
+    // from-scratch rebuild bit-for-bit (catches a wrong dirty-source test in
+    // apply_link_event the moment churn exercises it).
+    check_path_db(scmp->paths(), scmp->net().graph(), out);
   }
 
   std::vector<std::string> self_check;

@@ -97,7 +97,10 @@ bool apply(World& w, const ChurnEvent& ev) {
       probe.remove_edge(ev.node, ev.node2);
       if (!probe.is_connected()) return false;
       w.net->fail_link(ev.node, ev.node2);
-      w.scmp->on_topology_change();
+      // Incremental path: only dirty Dijkstra sources re-run. The auditor's
+      // path-db-consistent invariant holds this against a from-scratch
+      // AllPairsPaths at every audit stride.
+      w.scmp->handle_link_event(ev.node, ev.node2);
       return true;
     }
   }

@@ -321,6 +321,42 @@ void check_fabric(const FabricView& v, std::vector<Violation>& out) {
   }
 }
 
+void check_path_db(const graph::AllPairsPaths& db, const graph::Graph& g,
+                   std::vector<Violation>& out) {
+  if (db.num_nodes() != g.num_nodes()) {
+    out.push_back({kPathDbConsistent,
+                   "database covers " + std::to_string(db.num_nodes()) +
+                       " nodes, topology has " +
+                       std::to_string(g.num_nodes())});
+    return;
+  }
+  const graph::AllPairsPaths oracle(g);
+  auto compare_run = [&](const graph::ShortestPaths& got,
+                         const graph::ShortestPaths& want, const char* which,
+                         graph::NodeId src) {
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto idx = static_cast<std::size_t>(v);
+      // Exact == on doubles is intentional: the audited claim is bit-identity
+      // of the incremental update, not numerical closeness (inf == inf holds
+      // for unreachable nodes, and no field is ever NaN).
+      if (got.dist[idx] == want.dist[idx] &&
+          got.companion[idx] == want.companion[idx] &&
+          got.hops[idx] == want.hops[idx] &&
+          got.parent[idx] == want.parent[idx])
+        continue;
+      out.push_back({kPathDbConsistent,
+                     std::string(which) + " run from " + node_str(src) +
+                         " diverges from a from-scratch rebuild at node " +
+                         node_str(v)});
+      return;  // one violation per run keeps the report readable
+    }
+  };
+  for (graph::NodeId s = 0; s < g.num_nodes(); ++s) {
+    compare_run(db.sl_from(s), oracle.sl_from(s), "P_sl", s);
+    compare_run(db.lc_from(s), oracle.lc_from(s), "P_lc", s);
+  }
+}
+
 std::string format(const std::vector<Violation>& violations) {
   std::string r;
   for (const Violation& v : violations) {

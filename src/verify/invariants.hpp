@@ -27,6 +27,11 @@
 //   protocol-self-check  whatever MulticastProtocol::audit_state of the
 //                        audited protocol reports (CBT / PIM-SM hard-state
 //                        symmetry; empty by default).
+//   path-db-consistent   the m-router's incrementally-maintained dual-weight
+//                        path database (AllPairsPaths::apply_link_event)
+//                        matches a from-scratch rebuild on the current
+//                        topology bit-for-bit: dist, companion weight, hop
+//                        count and canonical parent, per source and metric.
 #pragma once
 
 #include <map>
@@ -34,6 +39,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/paths.hpp"
 #include "verify/snapshot.hpp"
 
 namespace scmp::fabric {
@@ -53,13 +59,14 @@ inline constexpr const char* kDelayBound = "delay-bound";
 inline constexpr const char* kNoOrphanState = "no-orphan-state";
 inline constexpr const char* kFabricValidity = "fabric-validity";
 inline constexpr const char* kProtocolSelfCheck = "protocol-self-check";
+inline constexpr const char* kPathDbConsistent = "path-db-consistent";
 
 /// Every invariant id the auditor can emit, in catalog order. The coverage
 /// manifest (coverage_manifest.json) and tools/lint.py's verify-hygiene rule
 /// cross-check against this list.
 inline constexpr const char* kInvariantIds[] = {
-    kTreeWellFormed,  kForwardingSymmetry, kDelayBound,
-    kNoOrphanState,   kFabricValidity,     kProtocolSelfCheck,
+    kTreeWellFormed,  kForwardingSymmetry, kDelayBound,    kNoOrphanState,
+    kFabricValidity,  kProtocolSelfCheck,  kPathDbConsistent,
 };
 
 /// Invariant 1: authoritative-tree well-formedness (see file header).
@@ -99,6 +106,13 @@ FabricView view_of(const fabric::MRouterFabric& fabric);
 /// Invariant 5: fabric validity (PN/DN permutations, CCN conflict-free,
 /// no cross-group connection through the DN).
 void check_fabric(const FabricView& v, std::vector<Violation>& out);
+
+/// Invariant 7: the (possibly incrementally-maintained) path database `db`
+/// is bit-identical to a from-scratch AllPairsPaths built on `g` — every
+/// source's dist/companion/hops/parent under both metrics. O(n * Dijkstra):
+/// an oracle check, meant for audit strides, not hot paths.
+void check_path_db(const graph::AllPairsPaths& db, const graph::Graph& g,
+                   std::vector<Violation>& out);
 
 /// One line per violation: "<invariant>: <detail>".
 std::string format(const std::vector<Violation>& violations);

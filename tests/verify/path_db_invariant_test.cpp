@@ -1,0 +1,90 @@
+// The path-db-consistent invariant: check_path_db holds an (incrementally
+// maintained) AllPairsPaths to a from-scratch rebuild, and the churn
+// model-checker — whose link-failure events now go through the incremental
+// Scmp::handle_link_event — audits it at every stride.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string_view>
+
+#include "helpers.hpp"
+#include "verify/churn.hpp"
+#include "verify/invariants.hpp"
+
+namespace scmp::verify {
+namespace {
+
+TEST(PathDbInvariant, FreshDatabasePasses) {
+  const auto topo = test::random_topology(5, 25);
+  const graph::AllPairsPaths db(topo.graph);
+  std::vector<Violation> out;
+  check_path_db(db, topo.graph, out);
+  EXPECT_TRUE(out.empty()) << format(out);
+}
+
+TEST(PathDbInvariant, StaleDatabaseIsFlagged) {
+  auto topo = test::random_topology(5, 25);
+  const graph::AllPairsPaths db(topo.graph);
+  // Fail a link without telling the database: the stale runs must be caught.
+  const graph::NodeId u = 0;
+  const graph::NodeId v = topo.graph.neighbors(0).front().to;
+  topo.graph.remove_edge(u, v);
+  std::vector<Violation> out;
+  check_path_db(db, topo.graph, out);
+  ASSERT_FALSE(out.empty());
+  for (const Violation& viol : out)
+    EXPECT_EQ(viol.invariant, kPathDbConsistent);
+}
+
+TEST(PathDbInvariant, SizeMismatchIsFlagged) {
+  const graph::Graph small = test::line(4);
+  const graph::Graph big = test::line(6);
+  const graph::AllPairsPaths db(small);
+  std::vector<Violation> out;
+  check_path_db(db, big, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].invariant, kPathDbConsistent);
+}
+
+TEST(PathDbInvariant, RegisteredInCatalog) {
+  const auto* end = std::end(kInvariantIds);
+  EXPECT_NE(std::find_if(std::begin(kInvariantIds), end,
+                         [](const char* id) {
+                           return std::string_view(id) == kPathDbConsistent;
+                         }),
+            end);
+}
+
+// Churn scenario with link failures leaning hard on the incremental update:
+// every audit stride re-derives a from-scratch AllPairsPaths and requires
+// bit-identity with the Scmp-held database (plus the whole regular catalog).
+TEST(PathDbInvariant, ChurnWithLinkFailuresStaysConsistent) {
+  ChurnConfig cfg;
+  cfg.topo = ChurnTopo::kArpanet;
+  cfg.num_events = 160;
+  cfg.num_groups = 3;
+  cfg.max_link_failures = 8;
+  cfg.audit_stride = 4;
+  cfg.event_seed = 12;
+  const ChurnModelChecker checker(cfg);
+  const CheckOutcome outcome = checker.run();
+  EXPECT_TRUE(outcome.ok) << format(outcome.violations);
+  EXPECT_GT(outcome.audits, 0);
+}
+
+TEST(PathDbInvariant, ChurnOnWaxmanStaysConsistent) {
+  ChurnConfig cfg;
+  cfg.topo = ChurnTopo::kWaxman;
+  cfg.waxman_nodes = 40;
+  cfg.num_events = 120;
+  cfg.max_link_failures = 6;
+  cfg.audit_stride = 5;
+  cfg.topo_seed = 4;
+  cfg.event_seed = 9;
+  const ChurnModelChecker checker(cfg);
+  const CheckOutcome outcome = checker.run();
+  EXPECT_TRUE(outcome.ok) << format(outcome.violations);
+}
+
+}  // namespace
+}  // namespace scmp::verify

@@ -32,6 +32,13 @@ Rules (each failure prints ``file:line: rule-id: message``):
                    still used somewhere — instrumentation and manifest cannot
                    drift apart in either direction. tests/ is exempt: tests
                    exercise the registry with throwaway "test.*" names.
+  hot-path-alloc   the functions listed in HOT_PATH_FUNCS (DCDM's per-join
+                   path and the Dijkstra kernel) must not construct a
+                   std::vector or call the allocating convenience accessors
+                   (members()/on_tree_nodes()/sl_path()/lc_path()/path_to())
+                   — they reuse per-instance scratch buffers instead. A
+                   deliberate exception carries a same- or previous-line
+                   ``// hot-path: allow(<why>)`` annotation.
 
 Usage: tools/lint.py [--root REPO_ROOT]
 Exits non-zero when any finding is reported.
@@ -61,6 +68,16 @@ VERIFY_INVARIANTS_HPP = "src/verify/invariants.hpp"
 # The observability-surface manifest the obs-hygiene rule cross-checks.
 OBS_MANIFEST = "src/obs/metrics_manifest.json"
 
+# Allocation-free hot paths: file -> function definitions the hot-path-alloc
+# rule scans. join() runs per membership change, dijkstra_into() n times per
+# path-database rebuild; an accidental per-call allocation here is a real
+# throughput regression even when every test stays green.
+HOT_PATH_FUNCS = {
+    "src/core/dcdm.cpp": ("DcdmTree::join", "DcdmTree::leave",
+                          "DcdmTree::delay_bound_for"),
+    "src/graph/dijkstra.cpp": ("dijkstra_into",),
+}
+
 CONTRACT_RE = re.compile(r"\bSCMP_(EXPECTS|ENSURES|ASSERT)\s*\(")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 NEW_RE = re.compile(r"\bnew\b\s*(?:\(|\[|[A-Za-z_:<])")
@@ -68,6 +85,10 @@ DELETE_RE = re.compile(r"(?<![=\w])\s*\bdelete\b\s*(?:\[\s*\])?\s*[A-Za-z_(*]")
 ABORT_RE = re.compile(r"\b(?:std\s*::\s*)?(abort|_Exit|quick_exit|exit)\s*\(")
 USING_NS_RE = re.compile(r"^\s*using\s+namespace\b")
 OBS_SPAN_RE = re.compile(r'\bOBS_SPAN\s*\(\s*"([^"]+)"')
+HOT_VECTOR_RE = re.compile(r"\bstd\s*::\s*vector\s*<")
+HOT_ALLOC_CALL_RE = re.compile(
+    r"[.>]\s*(members|on_tree_nodes|sl_path|lc_path|path_to)\s*\(")
+HOT_ALLOW_RE = re.compile(r"hot-path:\s*allow\(")
 OBS_METRIC_RE = re.compile(
     r'\bobs\s*::\s*(counter|gauge|histogram)\s*\(\s*"([^"]+)"')
 
@@ -188,6 +209,40 @@ def strip_comments(text: str) -> str:
             out.append(c)
         i += 1
     return "".join(out)
+
+
+def function_bodies(code: str, name: str):
+    """Yields (body_start_line, body_text) for every *definition* of
+    ``name`` (qualified or not) in comment/string-stripped ``code``. Call
+    sites are skipped: a definition's parameter list is followed by an
+    optional const/noexcept and an opening brace, a call's by ``;`` or an
+    operator."""
+    n = len(code)
+    for m in re.finditer(re.escape(name) + r"\s*\(", code):
+        i = m.end() - 1
+        depth = 0
+        while i < n:
+            if code[i] == "(":
+                depth += 1
+            elif code[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        after = re.match(r"\s*(?:const\b\s*)?(?:noexcept\b\s*)?\{",
+                         code[i + 1:])
+        if not after:
+            continue
+        body_start = i + 1 + after.end()
+        depth = 1
+        j = body_start
+        while j < n and depth > 0:
+            if code[j] == "{":
+                depth += 1
+            elif code[j] == "}":
+                depth -= 1
+            j += 1
+        yield code.count("\n", 0, body_start) + 1, code[body_start:j - 1]
 
 
 def class_body_declarations(code: str, class_name: str) -> str | None:
@@ -486,6 +541,48 @@ class Linter:
             self.report(manifest_path, 1, "obs-hygiene",
                         f'stale manifest span "{name}": no OBS_SPAN uses it')
 
+    def check_hot_paths(self):
+        for rel, funcs in HOT_PATH_FUNCS.items():
+            path = self.root / rel
+            if not path.is_file():
+                self.report(path, 1, "hot-path-alloc",
+                            "file listed in HOT_PATH_FUNCS is missing")
+                continue
+            raw_lines = path.read_text(encoding="utf-8").splitlines()
+            code = strip_comments_and_strings("\n".join(raw_lines))
+            for name in funcs:
+                found = False
+                for start_line, body in function_bodies(code, name):
+                    found = True
+                    for off, line in enumerate(body.splitlines()):
+                        lineno = start_line + off
+                        hit = None
+                        if HOT_VECTOR_RE.search(line):
+                            hit = "std::vector constructed"
+                        else:
+                            m = HOT_ALLOC_CALL_RE.search(line)
+                            if m:
+                                hit = f"allocating call {m.group(1)}()"
+                        if hit is None:
+                            continue
+                        # A deliberate exception is annotated on the same or
+                        # the immediately preceding source line.
+                        annotated = any(
+                            0 < ln <= len(raw_lines) and
+                            HOT_ALLOW_RE.search(raw_lines[ln - 1])
+                            for ln in (lineno, lineno - 1))
+                        if annotated:
+                            continue
+                        self.report(
+                            path, lineno, "hot-path-alloc",
+                            f"{hit} in hot path {name}(); reuse a scratch "
+                            "buffer, or annotate the line with "
+                            "`// hot-path: allow(<why>)`")
+                if not found:
+                    self.report(path, 1, "hot-path-alloc",
+                                f"no definition of {name}() found; update "
+                                "HOT_PATH_FUNCS in tools/lint.py")
+
     def _registered_invariants(self) -> list[str] | None:
         """The string values of the constants listed in kInvariantIds."""
         hpp = self.root / VERIFY_INVARIANTS_HPP
@@ -533,6 +630,7 @@ class Linter:
                     self.check_header_using(path, code)
         self.check_verify_hygiene()
         self.check_obs_hygiene()
+        self.check_hot_paths()
         for f in self.findings:
             print(f)
         if self.findings:
