@@ -1,0 +1,99 @@
+// Micro-benchmarks of the reliable control-plane delivery layer: raw
+// retransmission-table throughput, the zero-loss overhead the ack machinery
+// adds to membership churn (the cost of turning Config::reliability on), and
+// the price of a soft-state reconciliation pass over a healthy domain.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/retx.hpp"
+#include "core/scmp.hpp"
+#include "igmp/igmp.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "topo/arpanet.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace scmp;
+
+void BM_RetxArmAck(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::RetxConfig cfg;
+  cfg.enabled = true;
+  for (auto _ : state) {
+    sim::EventQueue q;
+    core::RetxTable table(q, cfg);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t req = table.next_req();
+      table.arm(static_cast<graph::NodeId>(i % 32), req, [] {});
+      table.ack(static_cast<graph::NodeId>(i % 32), req);
+    }
+    q.run_all();  // retired timers fire as no-ops
+    benchmark::DoNotOptimize(table.acked());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RetxArmAck)->Arg(1000)->Arg(100000);
+
+/// One world per iteration: `rounds` join/leave pairs per group, drained to
+/// quiescence, with the reliability layer on or off (state.range(1)).
+void churn_rounds(benchmark::State& state, bool reliable) {
+  const int rounds = static_cast<int>(state.range(0));
+  Rng rng(7);
+  const topo::Topology topo = topo::arpanet(rng);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    sim::Network net(topo.graph, queue);
+    igmp::IgmpDomain igmp(queue, topo.graph.num_nodes());
+    core::Scmp::Config cfg;
+    cfg.mrouter = 0;
+    cfg.reliability.enabled = reliable;
+    core::Scmp scmp(net, igmp, cfg);
+    for (int r = 0; r < rounds; ++r) {
+      const graph::NodeId member = 3 + (r * 7) % (topo::kArpanetNodes - 4);
+      scmp.host_join(member, /*group=*/0);
+      queue.run_all();
+      scmp.host_leave(member, /*group=*/0);
+      queue.run_all();
+    }
+    benchmark::DoNotOptimize(scmp.retx().acked());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * rounds);
+}
+
+void BM_ChurnFireAndForget(benchmark::State& state) {
+  churn_rounds(state, /*reliable=*/false);
+}
+BENCHMARK(BM_ChurnFireAndForget)->Arg(50);
+
+void BM_ChurnReliable(benchmark::State& state) {
+  churn_rounds(state, /*reliable=*/true);
+}
+BENCHMARK(BM_ChurnReliable)->Arg(50);
+
+void BM_ReconcileHealthyDomain(benchmark::State& state) {
+  const int groups = static_cast<int>(state.range(0));
+  Rng rng(7);
+  const topo::Topology topo = topo::arpanet(rng);
+  sim::EventQueue queue;
+  sim::Network net(topo.graph, queue);
+  igmp::IgmpDomain igmp(queue, topo.graph.num_nodes());
+  core::Scmp::Config cfg;
+  cfg.mrouter = 0;
+  cfg.reliability.enabled = true;
+  core::Scmp scmp(net, igmp, cfg);
+  for (int g = 0; g < groups; ++g) {
+    for (graph::NodeId m : {5 + g, 12 + g, 19 + g}) scmp.host_join(m, g);
+    queue.run_all();
+  }
+  for (auto _ : state) {
+    // A healthy domain: both phases diff everything and repair nothing.
+    benchmark::DoNotOptimize(scmp.reconcile_all());
+    queue.run_all();
+  }
+  state.SetItemsProcessed(state.iterations() * groups);
+}
+BENCHMARK(BM_ReconcileHealthyDomain)->Arg(1)->Arg(8);
+
+}  // namespace

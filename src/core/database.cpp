@@ -42,10 +42,13 @@ MRouterDatabase::published_addresses() const {
   return out;
 }
 
-void MRouterDatabase::record_join(GroupId group, graph::NodeId router,
-                                  double now) {
+bool MRouterDatabase::record_join(GroupId group, graph::NodeId router,
+                                  double now, std::uint64_t req) {
+  if (req != 0 && !seen_join_reqs_.insert(req).second)
+    return false;  // retransmitted JOIN: already recorded and billed
   members_[group].insert(router);
   log_.push_back({now, group, router, true});
+  return true;
 }
 
 void MRouterDatabase::record_leave(GroupId group, graph::NodeId router,

@@ -51,7 +51,13 @@ class MRouterDatabase {
   /// Published view of all active (group, address) bindings.
   std::vector<std::pair<GroupId, McastAddress>> published_addresses() const;
 
-  void record_join(GroupId group, graph::NodeId router, double now);
+  /// Records a membership join for accounting/billing. `req` is the JOIN
+  /// packet's reliable-delivery request uid: a retransmitted JOIN repeats the
+  /// uid, and the second record with a uid already seen is dropped so billing
+  /// sessions are never double-counted (0 = fire-and-forget, never deduped).
+  /// Returns false when the record was deduplicated.
+  bool record_join(GroupId group, graph::NodeId router, double now,
+                   std::uint64_t req = 0);
   void record_leave(GroupId group, graph::NodeId router, double now);
   void record_data_forwarded(GroupId group, std::uint64_t bytes);
 
@@ -68,6 +74,7 @@ class MRouterDatabase {
   std::vector<SessionRecord> ended_;
   std::map<GroupId, std::set<graph::NodeId>> members_;
   std::vector<MembershipEvent> log_;
+  std::set<std::uint64_t> seen_join_reqs_;  ///< request uids already billed
   McastAddress next_address_ = 0xE0000100;  // 224.0.1.0 onwards
 };
 

@@ -1,0 +1,89 @@
+#include "core/retx.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/contracts.hpp"
+#include "util/log.hpp"
+
+namespace scmp::core {
+
+RetxTable::RetxTable(sim::EventQueue& queue, RetxConfig cfg)
+    : queue_(&queue), cfg_(cfg) {
+  SCMP_EXPECTS(cfg_.timeout > 0.0);
+  SCMP_EXPECTS(cfg_.backoff >= 1.0);
+  SCMP_EXPECTS(cfg_.max_retries >= 0);
+}
+
+void RetxTable::arm(graph::NodeId sender, std::uint64_t req,
+                    std::function<void()> resend) {
+  if (!cfg_.enabled) return;
+  SCMP_EXPECTS(req != 0);
+  SCMP_EXPECTS(resend != nullptr);
+  Pending p;
+  p.next_timeout = cfg_.timeout * cfg_.backoff;
+  p.resend = std::move(resend);
+  const bool inserted =
+      by_sender_[sender].emplace(req, std::move(p)).second;
+  SCMP_EXPECTS(inserted && "request uids are never reused");
+  schedule_timer(sender, req, cfg_.timeout);
+}
+
+void RetxTable::ack(graph::NodeId sender, std::uint64_t req) {
+  const auto sit = by_sender_.find(sender);
+  if (sit == by_sender_.end()) return;
+  if (sit->second.erase(req) == 0) return;  // duplicate/late ack
+  ++acked_;
+  static obs::Counter& acks = obs::counter("scmp.retx.acked");
+  acks.inc();
+  if (sit->second.empty()) by_sender_.erase(sit);
+}
+
+bool RetxTable::pending(graph::NodeId sender, std::uint64_t req) const {
+  const auto sit = by_sender_.find(sender);
+  return sit != by_sender_.end() && sit->second.contains(req);
+}
+
+std::size_t RetxTable::pending_count() const {
+  std::size_t total = 0;
+  for (const auto& [sender, reqs] : by_sender_) total += reqs.size();
+  return total;
+}
+
+void RetxTable::schedule_timer(graph::NodeId sender, std::uint64_t req,
+                               double delay) {
+  // One timer chain per entry: each fire either retransmits and schedules
+  // the next fire, or exhausts the budget. An ack simply erases the entry;
+  // the outstanding timer then fires as a no-op (request uids are unique, so
+  // a retired req can never be confused with a live one).
+  queue_->schedule_in(delay, [this, sender, req]() {
+    const auto sit = by_sender_.find(sender);
+    if (sit == by_sender_.end()) return;
+    const auto it = sit->second.find(req);
+    if (it == sit->second.end()) return;
+    Pending& p = it->second;
+    if (p.attempts >= cfg_.max_retries) {
+      // Budget exhausted: degrade gracefully. The request's state transfer
+      // is abandoned here; the soft-state reconciliation cycle repairs the
+      // divergence it leaves behind.
+      ++exhausted_;
+      static obs::Counter& exhausted = obs::counter("scmp.retx.exhausted");
+      exhausted.inc();
+      log_debug("retx: sender ", sender, " abandoned request ", req, " after ",
+                p.attempts, " retransmission(s)");
+      sit->second.erase(it);
+      if (sit->second.empty()) by_sender_.erase(sit);
+      return;
+    }
+    ++p.attempts;
+    ++retransmissions_;
+    static obs::Counter& retx = obs::counter("scmp.retx.packets");
+    retx.inc();
+    const double next = p.next_timeout;
+    p.next_timeout *= cfg_.backoff;
+    p.resend();
+    schedule_timer(sender, req, next);
+  });
+}
+
+}  // namespace scmp::core

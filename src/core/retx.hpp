@@ -1,0 +1,87 @@
+// Reliable delivery for the SCMP control plane: a per-endpoint
+// retransmission table. Every reliably-sent control packet (JOIN / LEAVE /
+// TREE / BRANCH / PRUNE / CLEAR) carries a request uid (sim::Packet::req);
+// the sender arms an entry here and the receiver answers with an ACK packet
+// carrying the same uid. Unacknowledged requests are retransmitted with
+// exponential backoff until a bounded retry budget runs out, at which point
+// the request is abandoned gracefully (counter + debug log — the periodic
+// soft-state reconciliation pass re-solicits whatever state the lost packet
+// carried; see Scmp::reconcile_all).
+//
+// Modeled on HPIM-DM's sequence-numbered control-message reliability
+// (PAPERS.md): acks + retransmission give at-least-once delivery, and the
+// receiver-side dedup by request uid (kept in Scmp, which owns per-router
+// state) plus SCMP's existing install versioning give idempotency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "graph/graph.hpp"
+#include "sim/event_queue.hpp"
+
+namespace scmp::core {
+
+struct RetxConfig {
+  /// Off by default: the control plane stays fire-and-forget and the packet
+  /// streams stay bit-identical to the unreliable protocol.
+  bool enabled = false;
+  /// Seconds before the first retransmission. Must exceed the worst-case
+  /// control round-trip or zero-loss runs retransmit spuriously (the default
+  /// covers the evaluation topologies' diameters with margin).
+  double timeout = 5.0;
+  double backoff = 2.0;  ///< timeout multiplier per retransmission
+  /// Retransmissions after the original send before giving up.
+  int max_retries = 4;
+};
+
+/// Retransmission state of every in-flight reliable request, grouped by the
+/// sending endpoint (each router retransmits its own requests; the table is
+/// centralised only because the simulation hosts all routers in one object).
+class RetxTable {
+ public:
+  RetxTable(sim::EventQueue& queue, RetxConfig cfg);
+
+  const RetxConfig& config() const { return cfg_; }
+
+  /// Fresh request uid (never 0; 0 marks fire-and-forget packets).
+  std::uint64_t next_req() { return ++req_counter_; }
+
+  /// Arms retransmission of request `req` sent by `sender`. `resend` is
+  /// invoked for every retransmission; it must repeat the original packet
+  /// (same req) so the receiver can dedup. No-op unless enabled.
+  void arm(graph::NodeId sender, std::uint64_t req,
+           std::function<void()> resend);
+
+  /// Acknowledges `req` at `sender`: the pending entry (if any) is retired
+  /// and its outstanding timer becomes a no-op.
+  void ack(graph::NodeId sender, std::uint64_t req);
+
+  bool pending(graph::NodeId sender, std::uint64_t req) const;
+  std::size_t pending_count() const;
+
+  // Lifetime totals (plain counters for tests; obs mirrors them).
+  std::uint64_t retransmissions() const { return retransmissions_; }
+  std::uint64_t acked() const { return acked_; }
+  std::uint64_t exhausted() const { return exhausted_; }
+
+ private:
+  struct Pending {
+    int attempts = 0;  ///< retransmissions already sent
+    double next_timeout = 0.0;
+    std::function<void()> resend;
+  };
+
+  void schedule_timer(graph::NodeId sender, std::uint64_t req, double delay);
+
+  sim::EventQueue* queue_;
+  RetxConfig cfg_;
+  std::map<graph::NodeId, std::map<std::uint64_t, Pending>> by_sender_;
+  std::uint64_t req_counter_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t acked_ = 0;
+  std::uint64_t exhausted_ = 0;
+};
+
+}  // namespace scmp::core

@@ -9,8 +9,30 @@
 
 namespace scmp::core {
 
+namespace {
+
+/// SCMP control types that travel reliably when Config::reliability is on.
+bool is_scmp_control(sim::PacketType t) {
+  switch (t) {
+    case sim::PacketType::kJoin:
+    case sim::PacketType::kLeave:
+    case sim::PacketType::kTree:
+    case sim::PacketType::kBranch:
+    case sim::PacketType::kPrune:
+    case sim::PacketType::kClear:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
 Scmp::Scmp(sim::Network& net, igmp::IgmpDomain& igmp, Config cfg)
-    : MulticastProtocol(net, igmp), cfg_(cfg), paths_(net.graph()) {
+    : MulticastProtocol(net, igmp),
+      cfg_(cfg),
+      paths_(net.graph()),
+      retx_(net.queue(), cfg.reliability) {
   mrouters_ = cfg.mrouters.empty()
                   ? std::vector<graph::NodeId>{cfg.mrouter}
                   : cfg.mrouters;
@@ -23,6 +45,62 @@ Scmp::Scmp(sim::Network& net, igmp::IgmpDomain& igmp, Config cfg)
   }
   entries_.resize(static_cast<std::size_t>(net.graph().num_nodes()));
   cleared_version_.resize(static_cast<std::size_t>(net.graph().num_nodes()));
+  seen_req_.resize(static_cast<std::size_t>(net.graph().num_nodes()));
+}
+
+// ---------------------------------------------------------------------------
+// Reliable control-plane delivery (acks + retransmission, src/core/retx.hpp).
+// ---------------------------------------------------------------------------
+
+void Scmp::send_control_link(graph::NodeId from, graph::NodeId to,
+                             sim::Packet pkt) {
+  if (!retx_.config().enabled) {
+    net().send_link(from, to, std::move(pkt));
+    return;
+  }
+  pkt.req = retx_.next_req();
+  retx_.arm(from, pkt.req, [this, from, to, copy = pkt]() {
+    net().send_link(from, to, copy);
+  });
+  net().send_link(from, to, std::move(pkt));
+}
+
+void Scmp::send_control_unicast(graph::NodeId from, sim::Packet pkt) {
+  if (!retx_.config().enabled) {
+    net().send_unicast(from, std::move(pkt));
+    return;
+  }
+  pkt.req = retx_.next_req();
+  retx_.arm(from, pkt.req, [this, from, copy = pkt]() {
+    net().send_unicast(from, copy);
+  });
+  net().send_unicast(from, std::move(pkt));
+}
+
+void Scmp::send_ack(graph::NodeId at, const sim::Packet& pkt,
+                    graph::NodeId from) {
+  sim::Packet ack;
+  ack.type = sim::PacketType::kAck;
+  ack.group = pkt.group;
+  ack.src = at;
+  ack.req = pkt.req;
+  switch (pkt.type) {
+    case sim::PacketType::kTree:
+    case sim::PacketType::kBranch:
+    case sim::PacketType::kPrune:
+      // Link-delivered control is acknowledged hop-by-hop: the retransmitting
+      // endpoint is the neighbour that put the packet on this link.
+      SCMP_ASSERT(from != graph::kInvalidNode);
+      ack.dst = from;
+      net().send_link(at, from, std::move(ack));
+      break;
+    default:
+      // JOIN / LEAVE / CLEAR travel by unicast; the originator is pkt.src.
+      SCMP_ASSERT(pkt.src != graph::kInvalidNode);
+      ack.dst = pkt.src;
+      net().send_unicast(at, std::move(ack));
+      break;
+  }
 }
 
 graph::NodeId Scmp::mrouter_of(GroupId group) const {
@@ -102,7 +180,7 @@ void Scmp::interface_joined(graph::NodeId router, GroupId group, int iface,
   join.group = group;
   join.src = router;
   join.dst = root;
-  net().send_unicast(router, std::move(join));
+  send_control_unicast(router, std::move(join));
 }
 
 void Scmp::interface_left(graph::NodeId router, GroupId group, int iface,
@@ -128,7 +206,7 @@ void Scmp::interface_left(graph::NodeId router, GroupId group, int iface,
   leave.group = group;
   leave.src = router;
   leave.dst = root;
-  net().send_unicast(router, std::move(leave));
+  send_control_unicast(router, std::move(leave));
 }
 
 void Scmp::send_prune_and_leave(graph::NodeId at, GroupId group) {
@@ -142,14 +220,14 @@ void Scmp::send_prune_and_leave(graph::NodeId at, GroupId group) {
     prune.type = sim::PacketType::kPrune;
     prune.group = group;
     prune.src = at;
-    net().send_link(at, up, prune);
+    send_control_link(at, up, std::move(prune));
   }
   sim::Packet leave;
   leave.type = sim::PacketType::kLeave;
   leave.group = group;
   leave.src = at;
   leave.dst = mrouter_of(group);
-  net().send_unicast(at, std::move(leave));
+  send_control_unicast(at, std::move(leave));
 }
 
 void Scmp::local_membership_change(GroupId group, bool joined) {
@@ -169,7 +247,8 @@ void Scmp::local_membership_change(GroupId group, bool joined) {
 // m-router side (paper §III-D/§III-E).
 // ---------------------------------------------------------------------------
 
-void Scmp::mrouter_handle_join(GroupId group, graph::NodeId requester) {
+void Scmp::mrouter_handle_join(GroupId group, graph::NodeId requester,
+                               std::uint64_t req) {
   // The span covers the m-router's whole JOIN turnaround: DCDM admission,
   // diffing, and handing the install packets to the network.
   OBS_SPAN("scmp.join");
@@ -177,7 +256,7 @@ void Scmp::mrouter_handle_join(GroupId group, graph::NodeId requester) {
   joins.inc();
   const double now = net().now();
   db_.start_session(group, now);
-  db_.record_join(group, requester, now);
+  db_.record_join(group, requester, now, req);
 
   DcdmTree& t = tree_for(group);
 
@@ -231,7 +310,7 @@ void Scmp::send_clear(GroupId group, graph::NodeId target,
   clear.dst = target;
   clear.uid = version;
   clear.path = std::move(detach);  // empty = drop entry, else detach children
-  net().send_unicast(root, std::move(clear));
+  send_control_unicast(root, std::move(clear));
 }
 
 void Scmp::set_session_idle_expiry(double idle_seconds) {
@@ -287,7 +366,7 @@ void Scmp::install_branch(GroupId group, graph::NodeId member,
   branch.uid = version;
   branch.path = path;
   branch.size_bytes = sim::kControlPacketBytes + 4 * path.size();
-  net().send_link(path.front(), path[1], std::move(branch));
+  send_control_link(path.front(), path[1], std::move(branch));
 }
 
 void Scmp::install_full_tree(GroupId group,
@@ -317,7 +396,7 @@ void Scmp::install_full_tree(GroupId group,
     tp.uid = version;
     tp.payload = to_bytes(words);
     tp.size_bytes = sim::kControlPacketBytes + tp.payload.size();
-    net().send_link(root, child, std::move(tp));
+    send_control_link(root, child, std::move(tp));
   }
 }
 
@@ -352,6 +431,167 @@ void Scmp::refresh_group(GroupId group) {
     if (v != root && !current.contains(v)) send_clear(group, v, {}, version);
   }
   install_full_tree(group, {}, version);
+}
+
+// ---------------------------------------------------------------------------
+// Soft-state reconciliation (the control-plane analogue of the IGMP query
+// cycle): the m-router diffs per-group state digests against the domain's
+// ground truth and repairs divergence left behind by lost control packets —
+// including requests the retransmission budget abandoned.
+// ---------------------------------------------------------------------------
+
+int Scmp::resolicit_membership() {
+  static obs::Counter& resolicits = obs::counter("scmp.reconcile.resolicits");
+  int count = 0;
+  std::set<GroupId> groups;
+  for (GroupId g : igmp().groups_with_members()) groups.insert(g);
+  for (GroupId g : active_groups()) groups.insert(g);
+  for (GroupId g : groups) {
+    const graph::NodeId root = mrouter_of(g);
+    const auto actual_vec = igmp().member_routers(g);
+    const std::set<graph::NodeId> actual(actual_vec.begin(), actual_vec.end());
+    // Copy: the m-router-local transitions below mutate the live set.
+    const std::set<graph::NodeId> recorded = db_.members_of(g);
+
+    for (graph::NodeId r : actual) {
+      if (recorded.contains(r)) continue;
+      // The DR's JOIN never registered (lost, or its retries ran out): the
+      // soft-state probe makes it re-report its membership.
+      ++count;
+      if (r == root) {
+        local_membership_change(g, /*joined=*/true);
+        continue;
+      }
+      sim::Packet join;
+      join.type = sim::PacketType::kJoin;
+      join.group = g;
+      join.src = r;
+      join.dst = root;
+      send_control_unicast(r, std::move(join));
+    }
+    for (graph::NodeId r : recorded) {
+      if (actual.contains(r)) continue;
+      // The DR's LEAVE never registered: it re-announces its departure.
+      ++count;
+      if (r == root) {
+        local_membership_change(g, /*joined=*/false);
+        continue;
+      }
+      Entry* e = mutable_entry_at(r, g);
+      if (e != nullptr && e->downstream_routers.empty()) {
+        // Stale leaf: redo the whole exit (PRUNE upstream + LEAVE).
+        send_prune_and_leave(r, g);
+        continue;
+      }
+      sim::Packet leave;
+      leave.type = sim::PacketType::kLeave;
+      leave.group = g;
+      leave.src = r;
+      leave.dst = root;
+      send_control_unicast(r, std::move(leave));
+    }
+  }
+  resolicits.inc(static_cast<std::uint64_t>(count));
+  return count;
+}
+
+int Scmp::repair_installed_state() {
+  static obs::Counter& repair_counter = obs::counter("scmp.reconcile.repairs");
+  int repairs = 0;
+  // Candidates: every live session plus every group some i-router still
+  // holds an entry for (orphans of an ended or restructured session).
+  std::set<GroupId> groups;
+  for (GroupId g : active_groups()) groups.insert(g);
+  for (GroupId g : groups_with_installed_state()) groups.insert(g);
+  const graph::NodeId n = net().graph().num_nodes();
+
+  for (GroupId g : groups) {
+    const graph::NodeId root = mrouter_of(g);
+    const auto tit = trees_.find(g);
+    const graph::MulticastTree* tree =
+        tit == trees_.end() ? nullptr : &tit->second.tree();
+
+    // Digest diff against the authoritative tree.
+    std::vector<graph::NodeId> orphaned;  // entry but off-tree: drop it
+    std::map<graph::NodeId, std::vector<graph::NodeId>> extra_children;
+    std::set<graph::NodeId> divergent;  // on-tree, digest wrong or missing
+    for (graph::NodeId v = 0; v < n; ++v) {
+      const Entry* e = entry_at(v, g);
+      const bool on_tree = tree != nullptr && v != root && tree->on_tree(v);
+      if (!on_tree) {
+        if (e != nullptr) orphaned.push_back(v);
+        continue;
+      }
+      const auto& kids = tree->children(v);
+      const std::set<graph::NodeId> want(kids.begin(), kids.end());
+      if (e == nullptr) {
+        divergent.insert(v);
+        continue;
+      }
+      if (e->upstream != tree->parent(v)) divergent.insert(v);
+      for (graph::NodeId c : want) {
+        if (!e->downstream_routers.contains(c)) divergent.insert(v);
+      }
+      std::vector<graph::NodeId> extras;
+      for (graph::NodeId c : e->downstream_routers) {
+        if (!want.contains(c)) extras.push_back(c);
+      }
+      if (!extras.empty()) extra_children.emplace(v, std::move(extras));
+    }
+    if (orphaned.empty() && extra_children.empty() && divergent.empty())
+      continue;
+
+    // One install operation per group per pass versions every repair.
+    const std::uint64_t version = next_install_version(g);
+    for (graph::NodeId v : orphaned) {
+      send_clear(g, v, {}, version);
+      ++repairs;
+    }
+    for (auto& [v, extras] : extra_children) {
+      send_clear(g, v, std::move(extras), version);
+      ++repairs;
+    }
+    if (!divergent.empty()) {
+      SCMP_ASSERT(tree != nullptr);
+      // Reinstall the root path of every member it crosses a divergent
+      // router on: the BRANCH rewrites upstream + downstream of each hop en
+      // route and terminates at a member DR, so it can never trigger the
+      // terminal-relay prune cascade a truncated reinstall could.
+      for (graph::NodeId m : db_.members_of(g)) {
+        if (m == root || !tree->on_tree(m)) continue;
+        const std::vector<graph::NodeId> path = tree->path_from_root(m);
+        const bool crosses =
+            std::any_of(path.begin(), path.end(), [&](graph::NodeId v) {
+              return divergent.contains(v);
+            });
+        if (!crosses) continue;
+        install_branch(g, m, version);
+        ++repairs;
+      }
+    }
+  }
+  repair_counter.inc(static_cast<std::uint64_t>(repairs));
+  return repairs;
+}
+
+int Scmp::reconcile_all() {
+  OBS_SPAN("scmp.reconcile");
+  const int resolicited = resolicit_membership();
+  const int repaired = repair_installed_state();
+  return resolicited + repaired;
+}
+
+void Scmp::start_reconciliation(double interval, double horizon) {
+  SCMP_EXPECTS(interval > 0.0);
+  // Mirrors igmp::IgmpDomain::start_query_cycle: one tick per interval until
+  // the horizon passes.
+  if (net().now() + interval > horizon) return;
+  net().queue().schedule_in(interval, [this, interval, horizon]() {
+    static obs::Counter& cycles = obs::counter("scmp.reconcile.cycles");
+    cycles.inc();
+    reconcile_all();
+    start_reconciliation(interval, horizon);
+  });
 }
 
 void Scmp::rebuild_trees(const std::vector<GroupId>& groups,
@@ -495,7 +735,7 @@ void Scmp::ir_handle_tree(graph::NodeId at, const sim::Packet& pkt,
     sub.uid = pkt.uid;  // the split keeps the install version
     sub.payload = to_bytes(child.subpacket);
     sub.size_bytes = sim::kControlPacketBytes + sub.payload.size();
-    net().send_link(at, child.id, std::move(sub));
+    send_control_link(at, child.id, std::move(sub));
   }
   entries_[static_cast<std::size_t>(at)][pkt.group] = std::move(fresh);
 }
@@ -523,7 +763,9 @@ void Scmp::ir_handle_branch(graph::NodeId at, const sim::Packet& pkt,
   e->upstream = from;
   if (pos + 1 != path.end()) {
     e->downstream_routers.insert(*(pos + 1));
-    net().send_link(at, *(pos + 1), pkt);
+    // Forwarded under a fresh request uid: each hop retransmits toward its
+    // own next hop, so reliability is hop-by-hop like the delivery itself.
+    send_control_link(at, *(pos + 1), pkt);
     return;
   }
 
@@ -557,7 +799,7 @@ void Scmp::ir_handle_prune(graph::NodeId at, const sim::Packet& pkt,
       prune.type = sim::PacketType::kPrune;
       prune.group = pkt.group;
       prune.src = at;
-      net().send_link(at, up, prune);
+      send_control_link(at, up, std::move(prune));
     }
   }
 }
@@ -647,10 +889,25 @@ void Scmp::forward_data(graph::NodeId at, const sim::Packet& pkt,
 
 void Scmp::handle_packet(graph::NodeId at, const sim::Packet& pkt,
                          graph::NodeId from) {
+  if (pkt.type == sim::PacketType::kAck) {
+    retx_.ack(at, pkt.req);
+    return;
+  }
+  if (pkt.req != 0 && is_scmp_control(pkt.type)) {
+    // At-least-once delivery: every copy is (re-)acknowledged — the original
+    // ack may have been lost — but only the first copy is processed.
+    send_ack(at, pkt, from);
+    const auto idx = static_cast<std::size_t>(at);
+    if (!seen_req_[idx].insert(pkt.req).second) {
+      static obs::Counter& dups = obs::counter("scmp.retx.duplicates");
+      dups.inc();
+      return;
+    }
+  }
   switch (pkt.type) {
     case sim::PacketType::kJoin:
       SCMP_ASSERT(at == mrouter_of(pkt.group));
-      mrouter_handle_join(pkt.group, pkt.src);
+      mrouter_handle_join(pkt.group, pkt.src, pkt.req);
       break;
     case sim::PacketType::kLeave:
       SCMP_ASSERT(at == mrouter_of(pkt.group));

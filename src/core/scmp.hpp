@@ -28,6 +28,7 @@
 #include "core/compute_pool.hpp"
 #include "core/database.hpp"
 #include "core/dcdm.hpp"
+#include "core/retx.hpp"
 #include "protocols/multicast_protocol.hpp"
 
 namespace scmp::core {
@@ -45,6 +46,10 @@ class Scmp final : public proto::MulticastProtocol {
     /// BRANCH packets where possible (§III-E discusses why BRANCH is used
     /// for small changes).
     bool always_full_tree = false;
+    /// Reliable control-plane delivery (acks + retransmission with backoff,
+    /// src/core/retx.hpp). Off by default: every control packet stream stays
+    /// bit-identical to the fire-and-forget protocol.
+    RetxConfig reliability;
   };
 
   Scmp(sim::Network& net, igmp::IgmpDomain& igmp, Config cfg);
@@ -148,6 +153,26 @@ class Scmp final : public proto::MulticastProtocol {
   /// other's install packets (drained sequential operations never need it).
   void refresh_group(GroupId group);
 
+  /// One soft-state reconciliation pass (the control-plane analogue of the
+  /// IGMP query cycle): first re-solicits membership lost to dropped
+  /// JOIN/LEAVE packets by diffing the service database against the IGMP
+  /// ground truth, then diffs every i-router's installed digest (upstream +
+  /// downstream set) against the anchoring m-router's authoritative tree and
+  /// repairs divergence with targeted BRANCH reinstalls and CLEARs. Returns
+  /// the number of repair actions initiated (0 = the domain matched the
+  /// digests; repairs travel as ordinary — reliable, if enabled — control
+  /// packets, so convergence needs the queue drained and possibly further
+  /// passes when those packets can be lost too).
+  int reconcile_all();
+
+  /// Schedules reconcile_all() every `interval` seconds until `horizon`
+  /// (exclusive), mirroring igmp::IgmpDomain::start_query_cycle.
+  void start_reconciliation(double interval, double horizon);
+
+  /// The control plane's retransmission table (zeros when reliability is
+  /// disabled; tests and benches read its lifetime counters).
+  const RetxTable& retx() const { return retx_; }
+
   /// An i-router's installed multicast routing entry (paper §III-A):
   /// (group id, upstream, downstream routers + downstream interfaces).
   /// `version` is the m-router install operation that last wrote the entry;
@@ -169,8 +194,10 @@ class Scmp final : public proto::MulticastProtocol {
   Entry* mutable_entry_at(graph::NodeId router, GroupId group);
   DcdmTree& tree_for(GroupId group);
 
-  // m-router side.
-  void mrouter_handle_join(GroupId group, graph::NodeId requester);
+  // m-router side. `req` is the JOIN's reliable-delivery request uid (0 when
+  // fire-and-forget); the database dedupes billing records by it.
+  void mrouter_handle_join(GroupId group, graph::NodeId requester,
+                           std::uint64_t req);
   void mrouter_handle_leave(GroupId group, graph::NodeId requester);
   void install_branch(GroupId group, graph::NodeId member,
                       std::uint64_t version);
@@ -191,6 +218,18 @@ class Scmp final : public proto::MulticastProtocol {
   std::uint64_t next_install_version(GroupId group) {
     return ++install_version_[group];
   }
+
+  // Reliability layer: both helpers behave exactly like Network::send_link /
+  // send_unicast when Config::reliability is disabled; when enabled they
+  // stamp a fresh request uid and arm retransmission until acknowledged.
+  void send_control_link(graph::NodeId from, graph::NodeId to,
+                         sim::Packet pkt);
+  void send_control_unicast(graph::NodeId from, sim::Packet pkt);
+  void send_ack(graph::NodeId at, const sim::Packet& pkt, graph::NodeId from);
+
+  // Soft-state reconciliation (reconcile_all phases).
+  int resolicit_membership();
+  int repair_installed_state();
 
   // i-router side.
   void ir_handle_tree(graph::NodeId at, const sim::Packet& pkt,
@@ -227,6 +266,11 @@ class Scmp final : public proto::MulticastProtocol {
   /// terminal or TREE install) its downstream interfaces are taken from the
   /// IGMP state, which subsumes the paper's "marked interface" bookkeeping.
   std::vector<std::map<GroupId, Entry>> entries_;
+  /// Control-plane retransmission tables (one logical table per endpoint).
+  RetxTable retx_;
+  /// Receiver-side dedup of reliably-delivered control packets, per router:
+  /// a retransmitted request is re-acknowledged but processed only once.
+  std::vector<std::set<std::uint64_t>> seen_req_;
   /// Optional worker pool for topology-change recomputation (not owned).
   const TreeComputePool* pool_ = nullptr;
   TransitModel transit_model_;

@@ -115,6 +115,21 @@ std::vector<graph::NodeId> IgmpDomain::member_routers(GroupId group) const {
   return out;
 }
 
+std::vector<GroupId> IgmpDomain::groups_with_members() const {
+  std::set<GroupId> seen;
+  for (const auto& groups : membership_) {
+    for (const auto& [group, ifaces] : groups) {
+      for (const auto& [iface, hosts] : ifaces) {
+        if (!hosts.empty()) {
+          seen.insert(group);
+          break;
+        }
+      }
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
 int IgmpDomain::host_count(graph::NodeId router, GroupId group) const {
   SCMP_EXPECTS(router >= 0 && router < num_routers_);
   const auto& groups = membership_[static_cast<std::size_t>(router)];

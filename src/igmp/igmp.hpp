@@ -60,6 +60,11 @@ class IgmpDomain {
   /// All routers that are members of `group`.
   std::vector<graph::NodeId> member_routers(GroupId group) const;
 
+  /// All groups with at least one member host anywhere in the domain — the
+  /// ground truth the m-router's soft-state reconciliation pass walks when
+  /// re-soliciting membership lost to dropped JOIN/LEAVE packets.
+  std::vector<GroupId> groups_with_members() const;
+
   int host_count(graph::NodeId router, GroupId group) const;
 
   /// Schedules periodic Host Membership Queries on every router with members

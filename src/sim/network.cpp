@@ -166,16 +166,6 @@ void Network::transmit(graph::NodeId from, graph::NodeId to, Packet pkt,
     return;
   }
 
-  // Overhead accounting: every link crossing contributes the link's cost
-  // (paper §IV-B definition of data/protocol overhead).
-  if (pkt.is_data()) {
-    stats_.data_overhead += e->cost;
-    ++stats_.data_link_crossings;
-  } else {
-    stats_.protocol_overhead += e->cost;
-    ++stats_.protocol_link_crossings;
-  }
-
   // FIFO transmission on the directed link, then propagation.
   const auto& nbs = graph_.neighbors(from);
   std::size_t slot = nbs.size();
@@ -196,6 +186,18 @@ void Network::transmit(graph::NodeId from, graph::NodeId to, Packet pkt,
     return;
   }
   ++backlog;
+
+  // Overhead accounting: every link crossing contributes the link's cost
+  // (paper §IV-B definition of data/protocol overhead). Only admitted
+  // packets count — a queue-dropped packet never crosses the link, so it
+  // must not inflate the overhead metrics.
+  if (pkt.is_data()) {
+    stats_.data_overhead += e->cost;
+    ++stats_.data_link_crossings;
+  } else {
+    stats_.protocol_overhead += e->cost;
+    ++stats_.protocol_link_crossings;
+  }
 
   link_bytes_[static_cast<std::size_t>(from)][slot] += pkt.size_bytes;
   {

@@ -18,6 +18,7 @@ const char* to_string(PacketType t) {
     case PacketType::kBranch: return "BRANCH";
     case PacketType::kPrune: return "PRUNE";
     case PacketType::kClear: return "CLEAR";
+    case PacketType::kAck: return "ACK";
     case PacketType::kCbtJoin: return "CBT_JOIN";
     case PacketType::kCbtAck: return "CBT_ACK";
     case PacketType::kCbtQuit: return "CBT_QUIT";
@@ -36,7 +37,9 @@ const char* to_string(PacketType t) {
 std::string describe(const Packet& p) {
   std::ostringstream ss;
   ss << to_string(p.type) << "{group=" << p.group << " src=" << p.src
-     << " dst=" << p.dst << " uid=" << p.uid << "}";
+     << " dst=" << p.dst << " uid=" << p.uid;
+  if (p.req != 0) ss << " req=" << p.req;
+  ss << "}";
   return ss.str();
 }
 

@@ -23,6 +23,7 @@ enum class PacketType {
   kBranch,  ///< incremental BRANCH packet (path = router sequence)
   kPrune,   ///< hop-by-hop upstream prune
   kClear,   ///< m-router -> stale i-router: drop routing entry (tree restructure)
+  kAck,     ///< per-request acknowledgement of a reliably-sent control packet
 
   // CBT control.
   kCbtJoin,  ///< hop-by-hop join request toward the core
@@ -62,6 +63,10 @@ struct Packet {
   graph::NodeId src = graph::kInvalidNode;  ///< original originator
   graph::NodeId dst = graph::kInvalidNode;  ///< unicast destination, if any
   std::uint64_t uid = 0;                    ///< identity of the original send
+  /// Reliable-delivery request id (0 = fire-and-forget). Distinct from `uid`,
+  /// which SCMP control packets already use for install versions: an ACK
+  /// answers `req`, and a retransmission repeats it unchanged.
+  std::uint64_t req = 0;
   double created_at = 0.0;                  ///< send time of the original data
   std::size_t size_bytes = kControlPacketBytes;
   std::vector<graph::NodeId> path;     ///< BRANCH router sequence, etc.

@@ -10,6 +10,7 @@
 //   max-link-failures <int>
 //   audit-stride <int>
 //   fault <packet-type> <every-nth>        (absent when no fault injected)
+//   loss <rate> <seed>                     (absent when control loss is off)
 //   events <count>
 //   join g<group> n<node>                  (one line per event, in order)
 //   leave g<group> n<node>
@@ -23,6 +24,7 @@
 #include <chrono>
 #include <cstddef>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -49,25 +51,53 @@ topo::Topology build_topology(const ChurnConfig& cfg) {
 
 /// One disposable simulation world; replay() builds a fresh one per call so
 /// subsequence replays share nothing.
+/// SCMP control-plane types subject to the probabilistic loss model. The
+/// ACKs are included: a reliability layer that only works when its own
+/// acknowledgements arrive would be no reliability layer at all.
+bool lossy_control_type(sim::PacketType t) {
+  switch (t) {
+    case sim::PacketType::kJoin:
+    case sim::PacketType::kLeave:
+    case sim::PacketType::kTree:
+    case sim::PacketType::kBranch:
+    case sim::PacketType::kPrune:
+    case sim::PacketType::kClear:
+    case sim::PacketType::kAck:
+      return true;
+    default:
+      return false;
+  }
+}
+
 struct World {
-  explicit World(const ChurnConfig& cfg) : topo(build_topology(cfg)) {
+  explicit World(const ChurnConfig& cfg)
+      : topo(build_topology(cfg)), loss_rng(cfg.loss_seed) {
     net = std::make_unique<sim::Network>(topo.graph, queue);
     igmp = std::make_unique<igmp::IgmpDomain>(queue, topo.graph.num_nodes());
     core::Scmp::Config scfg;
     scfg.mrouter = 0;
+    SCMP_EXPECTS(cfg.control_loss_rate >= 0.0 && cfg.control_loss_rate < 1.0);
+    const double loss = cfg.control_loss_rate;
+    if (loss > 0.0) scfg.reliability.enabled = true;
     scmp = std::make_unique<core::Scmp>(*net, *igmp, scfg);
-    if (cfg.fault.has_value()) {
-      const FaultSpec fault = *cfg.fault;
-      SCMP_EXPECTS(fault.every_nth >= 1);
-      net->set_drop_filter([this, fault](graph::NodeId, graph::NodeId,
-                                         const sim::Packet& pkt) {
-        if (pkt.type != fault.drop) return false;
-        return ++fault_seen % fault.every_nth == 0;
+    if (cfg.fault.has_value() || loss > 0.0) {
+      const std::optional<FaultSpec> fault = cfg.fault;
+      if (fault.has_value()) SCMP_EXPECTS(fault->every_nth >= 1);
+      net->set_drop_filter([this, fault, loss](graph::NodeId, graph::NodeId,
+                                               const sim::Packet& pkt) {
+        if (fault.has_value() && pkt.type == fault->drop &&
+            ++fault_seen % fault->every_nth == 0)
+          return true;
+        // Seeded coin per matching egress attempt: deterministic for a
+        // given event sequence, independent across retransmissions.
+        return loss > 0.0 && lossy_control_type(pkt.type) &&
+               loss_rng.chance(loss);
       });
     }
   }
 
   topo::Topology topo;
+  Rng loss_rng;
   sim::EventQueue queue;
   std::unique_ptr<sim::Network> net;
   std::unique_ptr<igmp::IgmpDomain> igmp;
@@ -178,6 +208,23 @@ CheckOutcome ChurnModelChecker::replay(
   const InvariantAuditor auditor(*w.scmp);
   CheckOutcome outcome;
 
+  // Under the lossy-link model the protocol is *entitled* to diverge between
+  // reconciliation cycles — that is the soft-state design. Audits therefore
+  // model the quiescent instant after a reconciliation pass converged: run
+  // passes (draining after each, since repair packets can be lost too) until
+  // one finds nothing to repair. The pass budget only bounds pathological
+  // luck; a genuinely broken protocol never reaches the fixpoint and the
+  // audit below reports exactly what stayed divergent.
+  auto reconcile_to_fixpoint = [&] {
+    if (cfg_.control_loss_rate <= 0.0) return;
+    constexpr int kMaxPasses = 64;
+    for (int pass = 0; pass < kMaxPasses; ++pass) {
+      const int repairs = w.scmp->reconcile_all();
+      w.queue.run_all();
+      if (repairs == 0) return;
+    }
+  };
+
   auto audit_at = [&](int index) {
     OBS_SPAN("verify.audit");
     const auto t0 = std::chrono::steady_clock::now();
@@ -197,9 +244,10 @@ CheckOutcome ChurnModelChecker::replay(
     w.queue.run_all();  // drain to quiescence: audits are only valid here
     const bool stride_hit =
         (i + 1) % static_cast<std::size_t>(cfg_.audit_stride) == 0;
-    if ((stride_hit || i + 1 == events.size()) &&
-        !audit_at(static_cast<int>(i)))
-      return outcome;
+    if (stride_hit || i + 1 == events.size()) {
+      reconcile_to_fixpoint();
+      if (!audit_at(static_cast<int>(i))) return outcome;
+    }
   }
   if (events.empty()) audit_at(-1);
   return outcome;
@@ -269,7 +317,8 @@ sim::PacketType fault_from_name(const std::string& name) {
       sim::PacketType::kJoin,  sim::PacketType::kLeave,
       sim::PacketType::kTree,  sim::PacketType::kBranch,
       sim::PacketType::kPrune, sim::PacketType::kClear,
-      sim::PacketType::kData,  sim::PacketType::kDataEncap,
+      sim::PacketType::kAck,   sim::PacketType::kData,
+      sim::PacketType::kDataEncap,
   };
   for (sim::PacketType t : kTypes) {
     if (upper == sim::to_string(t)) return t;
@@ -302,6 +351,13 @@ std::string serialize(const TraceArtifact& trace) {
   if (cfg.fault.has_value())
     out << "fault " << fault_name(cfg.fault->drop) << " "
         << cfg.fault->every_nth << "\n";
+  if (cfg.control_loss_rate > 0.0) {
+    // max_digits10 so the replayed loss RNG sees the bit-exact rate.
+    const auto old_precision =
+        out.precision(std::numeric_limits<double>::max_digits10);
+    out << "loss " << cfg.control_loss_rate << " " << cfg.loss_seed << "\n";
+    out.precision(old_precision);
+  }
   out << "events " << trace.events.size() << "\n";
   for (const ChurnEvent& ev : trace.events) {
     out << to_string(ev.type);
@@ -353,6 +409,8 @@ TraceArtifact deserialize(const std::string& text) {
       ls >> name >> fault.every_nth;
       fault.drop = fault_from_name(name);
       trace.config.fault = fault;
+    } else if (key == "loss") {
+      ls >> trace.config.control_loss_rate >> trace.config.loss_seed;
     } else if (key == "events") {
       // Count line; the per-event lines follow and carry their own tags.
     } else if (key == "join" || key == "leave" || key == "send") {

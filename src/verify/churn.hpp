@@ -59,6 +59,14 @@ struct ChurnConfig {
   int max_link_failures = 2;  ///< cap on generated link-failure events
   int audit_stride = 1;       ///< audit after every k-th event (and at the end)
   std::optional<FaultSpec> fault;
+  /// Lossy-link fault model: every SCMP control packet (JOIN/LEAVE/TREE/
+  /// BRANCH/PRUNE/CLEAR, and the ACKs themselves) is independently dropped
+  /// with this probability, seeded by `loss_seed`. A nonzero rate enables the
+  /// protocol's reliable delivery (Scmp::Config::reliability) and makes
+  /// replay() run soft-state reconciliation to a fixpoint before each audit —
+  /// exercising *recovery* instead of only proving invariants catch mutants.
+  double control_loss_rate = 0.0;
+  std::uint64_t loss_seed = 1;
 };
 
 struct CheckOutcome {

@@ -5,9 +5,13 @@
 //   scmp_churn_check [--topo=arpanet|waxman] [--topo-seed=N] [--nodes=N]
 //                    [--degree=D] [--groups=N] [--events=N] [--seeds=a,b,c]
 //                    [--audit-stride=N] [--max-link-failures=N]
-//                    [--fault=<packet-type>[:nth]] [--dump-dir=DIR]
-//                    [--replay=TRACE] [--no-shrink] [--verbose]
-//                    [--metrics[=FILE]] [--trace[=BASE]]
+//                    [--fault=<packet-type>[:nth]] [--loss=RATE[:SEED]]
+//                    [--dump-dir=DIR] [--replay=TRACE] [--no-shrink]
+//                    [--verbose] [--metrics[=FILE]] [--trace[=BASE]]
+//
+// --loss drops every SCMP control packet (ACKs included) independently with
+// probability RATE, enabling the protocol's reliable-delivery layer and the
+// reconcile-before-audit loop — the ISSUE's lossy acceptance mode.
 //
 // --metrics / --trace (obs::ObsSession) export the run's metrics and
 // per-audit spans; each run also reports its invariant-audit wall time.
@@ -111,6 +115,15 @@ Options parse_args(int argc, char** argv) {
       opt.cfg.max_link_failures = std::stoi(v);
     } else if (consume(arg, "--fault", v)) {
       opt.cfg.fault = parse_fault(v);
+    } else if (consume(arg, "--loss", v)) {
+      const std::size_t colon = v.find(':');
+      opt.cfg.control_loss_rate = std::stod(v.substr(0, colon));
+      if (colon != std::string::npos)
+        opt.cfg.loss_seed = std::stoull(v.substr(colon + 1));
+      if (opt.cfg.control_loss_rate < 0.0 || opt.cfg.control_loss_rate >= 1.0) {
+        std::fprintf(stderr, "--loss rate must be in [0, 1)\n");
+        opt.parse_ok = false;
+      }
     } else if (consume(arg, "--dump-dir", v)) {
       opt.dump_dir = v;
     } else if (consume(arg, "--replay", v)) {

@@ -73,6 +73,27 @@ TEST(Database, MembershipLogForBilling) {
   EXPECT_EQ(db.billing_events(7), 0);
 }
 
+TEST(Database, RetransmittedJoinIsDedupedByRequestUid) {
+  // A reliably-delivered JOIN whose ACK was lost arrives twice with the same
+  // request uid; only the first may create a membership/billing record.
+  MRouterDatabase db;
+  EXPECT_TRUE(db.record_join(1, 5, 1.0, 42));
+  EXPECT_FALSE(db.record_join(1, 5, 1.5, 42));  // retransmission
+  EXPECT_EQ(db.members_of(1).size(), 1u);
+  EXPECT_EQ(db.membership_log().size(), 1u);
+  EXPECT_EQ(db.billing_events(5), 1);
+  // A fresh request uid (e.g. a reconciliation re-JOIN) records normally.
+  EXPECT_TRUE(db.record_join(1, 5, 2.0, 43));
+  EXPECT_EQ(db.billing_events(5), 2);
+}
+
+TEST(Database, FireAndForgetJoinsAreNeverDeduped) {
+  MRouterDatabase db;
+  EXPECT_TRUE(db.record_join(1, 5, 1.0));  // req = 0: no reliability layer
+  EXPECT_TRUE(db.record_join(1, 5, 2.0));
+  EXPECT_EQ(db.membership_log().size(), 2u);
+}
+
 TEST(Database, TrafficAccounting) {
   MRouterDatabase db;
   db.start_session(1, 0.0);

@@ -156,6 +156,29 @@ TEST_F(NetworkTest, SendOverMissingLinkIsDropped) {
   EXPECT_DOUBLE_EQ(net_.stats().protocol_overhead, 0.0);
 }
 
+TEST_F(NetworkTest, QueueDroppedPacketAccruesNoOverhead) {
+  // Regression: overhead used to be accounted before the drop-tail admission
+  // check, so packets that never crossed the link still inflated the
+  // overhead metrics. With a 1-deep queue the second and third back-to-back
+  // sends are dropped and must leave no trace in the counters.
+  net_.set_queue_limit(1);
+  Packet a, b, c;
+  a.type = PacketType::kData;
+  b.type = PacketType::kData;
+  c.type = PacketType::kPrune;
+  net_.send_link(0, 1, a);  // admitted: queue was empty
+  net_.send_link(0, 1, b);  // drop-tail: a is still in transmission
+  net_.send_link(0, 1, c);  // drop-tail
+  queue_.run_all();
+  EXPECT_EQ(net_.stats().queue_drops, 2u);
+  ASSERT_EQ(agents_[1].received.size(), 1u);
+  EXPECT_DOUBLE_EQ(net_.stats().data_overhead, 1.0);  // only packet a
+  EXPECT_EQ(net_.stats().data_link_crossings, 1u);
+  EXPECT_DOUBLE_EQ(net_.stats().protocol_overhead, 0.0);
+  EXPECT_EQ(net_.stats().protocol_link_crossings, 0u);
+  EXPECT_EQ(net_.bytes_on_link(0, 1), a.size_bytes);
+}
+
 TEST_F(NetworkTest, FailLinkReconvergesRouting) {
   // Failing 1-2 on the line would disconnect it; use a ring instead.
   graph::Graph ring(4);

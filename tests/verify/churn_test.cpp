@@ -103,6 +103,8 @@ TEST(Trace, SerializeDeserializeRoundTrip) {
   trace.config.event_seed = 5;
   trace.config.audit_stride = 3;
   trace.config.fault = FaultSpec{sim::PacketType::kClear, 2};
+  trace.config.control_loss_rate = 0.05;
+  trace.config.loss_seed = 11;
   trace.events = {
       {ChurnEventType::kJoin, 0, 7, graph::kInvalidNode},
       {ChurnEventType::kSend, 1, 3, graph::kInvalidNode},
@@ -121,6 +123,9 @@ TEST(Trace, SerializeDeserializeRoundTrip) {
   ASSERT_TRUE(back.config.fault.has_value());
   EXPECT_EQ(back.config.fault->drop, trace.config.fault->drop);
   EXPECT_EQ(back.config.fault->every_nth, trace.config.fault->every_nth);
+  EXPECT_DOUBLE_EQ(back.config.control_loss_rate,
+                   trace.config.control_loss_rate);
+  EXPECT_EQ(back.config.loss_seed, trace.config.loss_seed);
   EXPECT_EQ(back.events, trace.events);
   ASSERT_EQ(back.violations.size(), 1u);
   EXPECT_EQ(back.violations[0].invariant, trace.violations[0].invariant);
