@@ -18,6 +18,10 @@ set_property(CACHE SCMP_SANITIZE PROPERTY STRINGS OFF asan+ubsan tsan)
 option(SCMP_WERROR "Treat compiler warnings as errors" OFF)
 option(SCMP_COVERAGE
     "Instrument for line coverage (gcov); enables the `coverage` target" OFF)
+option(SCMP_THREAD_SAFETY
+    "Enable clang's thread-safety analysis (-Wthread-safety) as an error; \
+requires Clang — the annotations in util/thread_annotations.hpp compile to \
+no-ops elsewhere" OFF)
 
 if(SCMP_SANITIZE STREQUAL "asan+ubsan")
   set(_scmp_san_flags
@@ -42,6 +46,18 @@ endif()
 
 if(SCMP_WERROR)
   add_compile_options(-Werror)
+endif()
+
+if(SCMP_THREAD_SAFETY)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(FATAL_ERROR
+        "SCMP_THREAD_SAFETY requires Clang (got ${CMAKE_CXX_COMPILER_ID}): "
+        "gcc has no thread-safety analysis, so the build would silently "
+        "check nothing. Configure with -DCMAKE_CXX_COMPILER=clang++ or use "
+        "the `tsa` preset.")
+  endif()
+  add_compile_options(-Wthread-safety -Werror=thread-safety)
+  message(STATUS "SCMP clang thread-safety analysis enabled (as errors)")
 endif()
 
 if(SCMP_COVERAGE)

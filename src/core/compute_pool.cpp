@@ -1,6 +1,8 @@
 #include "core/compute_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
 #include <thread>
 
 #include "obs/metrics.hpp"
@@ -9,12 +11,36 @@
 
 namespace scmp::core {
 
+namespace {
+
+/// Automatic worker count for `threads <= 0`: the SCMP_THREADS environment
+/// override when set to a positive integer, else the detected hardware
+/// concurrency. hardware_concurrency() is allowed to return 0 ("not
+/// computable"); that must degrade to a serial pool, not a zero-thread one.
+int auto_thread_count() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) — read once at pool construction,
+  // before any worker exists; nothing writes the environment concurrently.
+  if (const char* env = std::getenv("SCMP_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0 && parsed <= 1 << 16)
+      return static_cast<int>(parsed);
+  }
+  // determinism: allow(thread count shapes work partitioning only; results
+  // are bit-identical at any count — pinned by PoolDeterminism/
+  // ParallelEqualsSerial and
+  // ComputePoolRace.BitIdenticalDigestAcrossThreadCounts)
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
 TreeComputePool::TreeComputePool(const graph::Graph& g,
                                  const graph::AllPairsPaths& paths,
                                  int threads)
     : g_(&g), paths_(&paths) {
-  if (threads <= 0)
-    threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (threads <= 0) threads = auto_thread_count();
   threads_ = std::max(threads, 1);
 }
 

@@ -31,9 +31,20 @@ struct GroupMembership {
   std::vector<graph::NodeId> join_order;
 };
 
+/// Thread-safety: the pool is share-nothing by construction. Workers
+/// receive disjoint index ranges and write only into caller-provided
+/// per-index slots; the only cross-thread state is the read-only graph and
+/// path database plus the caller's `fn`, which must itself be safe to
+/// invoke concurrently on distinct indices. There is consequently no mutex
+/// to annotate (util/thread_annotations.hpp policy); the `tsa` preset and
+/// the compute_pool_race_test TSan stress pin this property.
 class TreeComputePool {
  public:
-  /// `threads` <= 0 selects the hardware concurrency (at least 1).
+  /// `threads` <= 0 selects an automatic thread count: the SCMP_THREADS
+  /// environment variable when set to a positive integer (so CI runs are
+  /// reproducible across runners with different core counts), otherwise the
+  /// hardware concurrency (which may report 0 on some platforms — treated
+  /// as 1). Results never depend on the choice, only wall-clock does.
   TreeComputePool(const graph::Graph& g, const graph::AllPairsPaths& paths,
                   int threads = 0);
 

@@ -42,6 +42,8 @@ double DcdmTree::unicast_delay(graph::NodeId v) const {
 }
 
 double DcdmTree::delay_bound_for(graph::NodeId joining) const {
+  // determinism: allow(sentinel compare: kLoosest is copied into
+  // cfg_.delay_slack verbatim, never computed, so the bits match exactly)
   if (cfg_.delay_slack == kLoosest) return kLoosest;
   double max_ul = unicast_delay(joining);
   for (graph::NodeId m = 0; m < g_->num_nodes(); ++m) {
@@ -88,7 +90,13 @@ JoinResult DcdmTree::join(graph::NodeId s) {
     if (ml > bound) return;
     const bool better =
         !have_best || pc < best_cost ||
+        // determinism: allow(canonical cost -> ml -> graft-id tie-break; both
+        // sides come from the same path-DB sums on one platform, and the
+        // golden traces pin the resulting order)
         (pc == best_cost &&
+         // determinism: allow(canonical cost -> ml -> graft-id tie-break;
+         // both sides come from the same path-DB sums on one platform, and
+         // the golden traces pin the resulting order)
          (ml < best_ml || (ml == best_ml && t < best_graft)));
     if (better) {
       best_cost = pc;
@@ -141,6 +149,9 @@ JoinResult DcdmTree::join(graph::NodeId s) {
     const double before = scratch_old_delay_[static_cast<std::size_t>(m)];
     if (std::isnan(before)) continue;  // was not a member pre-graft
     const double after = tree_.node_delay(*g_, m);
+    // determinism: allow(change detection: before is a cached copy of the
+    // same deterministic node_delay computation, so an unchanged delay is
+    // bit-identical and a changed one differs in value, not in rounding)
     if (after != before) {
       record_admission(
           m, std::max(admitted_bound_[static_cast<std::size_t>(m)], after));

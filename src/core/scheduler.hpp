@@ -64,6 +64,9 @@ class WfqScheduler {
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
+      // determinism: allow(strict weak order over (virtual_finish, seq):
+      // bit-equal finish times fall through to the seq tie-break, so the
+      // ordering is deterministic for any float values)
       if (a.virtual_finish != b.virtual_finish)
         return a.virtual_finish > b.virtual_finish;
       return a.seq > b.seq;

@@ -75,6 +75,9 @@ void dijkstra_into(const Graph& g, NodeId source, Metric metric,
       // second clause pins down one canonical shortest-path tree. The
       // companion weight and hop count follow the parent choice, so they
       // always describe the same canonical path as dist/parent.
+      // determinism: allow(canonical-SPT tie-break: equal distances reached
+      // by the same left-to-right relaxation sums on one platform; ties
+      // resolve by parent id, pinned by the golden traces)
       if (nd < cur || (nd == cur && par != kInvalidNode && u < par)) {
         cur = nd;
         par = u;

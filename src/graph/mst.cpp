@@ -26,6 +26,9 @@ std::vector<NodeId> prim_mst(const Graph& g, NodeId root, Metric metric) {
       const double w = weight_of(nb.attr, metric);
       const auto idx = static_cast<std::size_t>(nb.to);
       if (!done[idx] &&
+          // determinism: allow(canonical-MST tie-break: equal keys are raw
+          // edge weights, not accumulated sums; ties resolve by parent id so
+          // Prim yields one canonical tree)
           (w < key[idx] || (w == key[idx] && parent[idx] != kInvalidNode &&
                             u < parent[idx]))) {
         key[idx] = w;

@@ -59,8 +59,14 @@ bool AllPairsPaths::run_dirty(const ShortestPaths& sp, NodeId u, NodeId v,
   if (du + w < dv || dv + w < du) return true;
   // ... or ties an endpoint's distance via a smaller parent id, which would
   // re-canonicalize the SPT without changing any distance.
+  // determinism: allow(canonical-SPT tie test: the sum mirrors the exact
+  // relaxation Dijkstra performs, so a tie here is the same bit-identical
+  // tie the rebuild would break by parent id)
   if (du + w == dv && sp.parent[sv] != kInvalidNode && u < sp.parent[sv])
     return true;
+  // determinism: allow(canonical-SPT tie test: the sum mirrors the exact
+  // relaxation Dijkstra performs, so a tie here is the same bit-identical
+  // tie the rebuild would break by parent id)
   if (dv + w == du && sp.parent[su] != kInvalidNode && v < sp.parent[su])
     return true;
   return false;

@@ -15,7 +15,7 @@ SpanSink::SpanSink(std::size_t capacity) : capacity_(capacity) {
 }
 
 void SpanSink::record(const SpanRecord& r) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::LockGuard lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(r);
   } else {
@@ -26,7 +26,7 @@ void SpanSink::record(const SpanRecord& r) {
 }
 
 std::vector<SpanRecord> SpanSink::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::LockGuard lock(mu_);
   std::vector<SpanRecord> out;
   out.reserve(ring_.size());
   if (ring_.size() < capacity_) {
@@ -42,20 +42,20 @@ std::vector<SpanRecord> SpanSink::snapshot() const {
 }
 
 std::uint64_t SpanSink::total_recorded() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::LockGuard lock(mu_);
   return total_;
 }
 
 void SpanSink::set_capacity(std::size_t capacity) {
   SCMP_EXPECTS(capacity > 0);
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::LockGuard lock(mu_);
   capacity_ = capacity;
   ring_.clear();
   next_ = 0;
 }
 
 void SpanSink::clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::LockGuard lock(mu_);
   ring_.clear();
   next_ = 0;
   total_ = 0;

@@ -14,10 +14,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace scmp::obs {
 
@@ -43,30 +43,33 @@ struct SpanRecord {
 
 /// Fixed-capacity ring buffer of completed spans: recording never blocks on
 /// I/O or grows memory; when full, the oldest records are overwritten.
+/// Thread-safe: compute-pool workers record concurrently with exporter
+/// snapshots; every member is guarded by `mu_` and clang's thread-safety
+/// analysis (the `tsa` preset) enforces the discipline.
 class SpanSink {
  public:
   static constexpr std::size_t kDefaultCapacity = 1 << 16;
 
   explicit SpanSink(std::size_t capacity = kDefaultCapacity);
 
-  void record(const SpanRecord& r);
+  void record(const SpanRecord& r) EXCLUDES(mu_);
 
   /// Retained records, oldest first.
-  std::vector<SpanRecord> snapshot() const;
+  std::vector<SpanRecord> snapshot() const EXCLUDES(mu_);
 
   /// Records ever recorded (>= snapshot().size() once wrapped).
-  std::uint64_t total_recorded() const;
+  std::uint64_t total_recorded() const EXCLUDES(mu_);
 
   /// Resizes the ring; drops currently retained records.
-  void set_capacity(std::size_t capacity);
-  void clear();
+  void set_capacity(std::size_t capacity) EXCLUDES(mu_);
+  void clear() EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> ring_;
-  std::size_t capacity_;
-  std::size_t next_ = 0;  ///< next write slot
-  std::uint64_t total_ = 0;
+  mutable util::Mutex mu_;
+  std::vector<SpanRecord> ring_ GUARDED_BY(mu_);
+  std::size_t capacity_ GUARDED_BY(mu_);
+  std::size_t next_ GUARDED_BY(mu_) = 0;  ///< next write slot
+  std::uint64_t total_ GUARDED_BY(mu_) = 0;
 };
 
 /// The process-wide sink every Span records into.

@@ -50,6 +50,9 @@ class EventQueue {
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
+      // determinism: allow(strict weak order over (time, seq): bit-equal
+      // timestamps fall through to the seq tie-break, so the ordering is
+      // deterministic for any float values)
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }

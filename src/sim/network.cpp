@@ -206,8 +206,10 @@ void Network::transmit(graph::NodeId from, graph::NodeId to, Packet pkt,
     counters.packets[type_idx]->inc();
     counters.bytes[type_idx]->inc(pkt.size_bytes);
   }
+  dispatching_observers_ = true;
   for (const TransmitCallback& observer : transmit_observers_)
     observer(from, to, pkt, queue_->now());
+  dispatching_observers_ = false;
 
   // The packet first crosses the router's switching fabric (shared across
   // all ports; unlimited unless configured), then its egress port.

@@ -12,6 +12,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/packet.hpp"
 #include "sim/routing.hpp"
+#include "util/contracts.hpp"
 
 namespace scmp::sim {
 
@@ -104,10 +105,18 @@ class Network {
   /// Observers chain: a TraceRecorder, the verification auditor's hooks and
   /// the metrics layer can all watch the same network — registering one
   /// never replaces another. Invoked in registration order.
+  ///
+  /// Thread/reentrancy confinement: the chain is part of the
+  /// single-threaded simulation loop. Observers run on the sim thread and
+  /// must not register further observers from inside their callback — that
+  /// would invalidate the iterator driving the dispatch (and make the
+  /// observation order depend on when the mutation landed). transmit()
+  /// enforces this with a dispatch guard.
   using TransmitCallback = std::function<void(graph::NodeId from,
                                               graph::NodeId to,
                                               const Packet&, SimTime at)>;
   void add_transmit_observer(TransmitCallback cb) {
+    SCMP_EXPECTS(!dispatching_observers_);
     transmit_observers_.push_back(std::move(cb));
   }
   std::size_t transmit_observer_count() const {
@@ -178,6 +187,9 @@ class Network {
   std::uint64_t uid_counter_ = 0;
   DeliveryCallback on_delivery_;
   std::vector<TransmitCallback> transmit_observers_;
+  /// True while transmit() walks the observer chain; registration is
+  /// rejected during dispatch (see add_transmit_observer).
+  bool dispatching_observers_ = false;
   DropFilter drop_filter_;
 };
 

@@ -10,7 +10,11 @@ namespace scmp {
 namespace {
 // Relaxed ordering suffices: the level is a filtering hint, not a
 // synchronisation point — a logging thread may observe a level change
-// slightly late, but never tears or races.
+// slightly late, but never tears or races. Per the thread-safety annotation
+// policy (util/thread_annotations.hpp), a lock-free atomic is
+// self-synchronising and carries no GUARDED_BY; the memory order is the
+// documentation. The only other shared state in this module is stderr,
+// which POSIX stdio locks per fprintf call (see log_line).
 std::atomic<LogLevel> g_level{LogLevel::kOff};
 }  // namespace
 

@@ -1,0 +1,86 @@
+// Clang thread-safety analysis annotations (-Wthread-safety), portable
+// across compilers: on clang the macros expand to the `capability` attribute
+// family so lock discipline is machine-checked at compile time; on gcc (and
+// anything else) they expand to nothing and the code is unchanged.
+//
+// Usage policy (docs/development.md, "Thread-safety annotations &
+// determinism rules"):
+//   * Every mutex that guards cross-thread shared state is a util::Mutex
+//     (the annotated wrapper below), never a raw std::mutex — std::mutex
+//     carries no capability attribute, so clang cannot analyse it.
+//   * Every member a mutex protects is declared GUARDED_BY(mu_)
+//     (PT_GUARDED_BY for the pointee of a guarded pointer).
+//   * Functions that must be called with a lock held are REQUIRES(mu_);
+//     functions that must NOT hold it (they acquire it themselves, or they
+//     block) are EXCLUDES(mu_).
+//   * Lock-free atomics need no annotation: they synchronise themselves.
+//     Document the chosen memory order at the declaration instead (see
+//     util/log.cpp, obs/metrics.hpp).
+//
+// The `tsa` CMake preset (clang + -Werror=thread-safety) turns any
+// violation — touching a GUARDED_BY member without the lock, double
+// acquisition, a forgotten release path — into a build error; CI runs it on
+// every push.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SCMP_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef SCMP_TSA
+#define SCMP_TSA(x)  // not clang: annotations compile away
+#endif
+
+#define CAPABILITY(x) SCMP_TSA(capability(x))
+#define SCOPED_CAPABILITY SCMP_TSA(scoped_lockable)
+#define GUARDED_BY(x) SCMP_TSA(guarded_by(x))
+#define PT_GUARDED_BY(x) SCMP_TSA(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) SCMP_TSA(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) SCMP_TSA(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) SCMP_TSA(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) SCMP_TSA(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) SCMP_TSA(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) SCMP_TSA(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) SCMP_TSA(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) SCMP_TSA(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) SCMP_TSA(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) SCMP_TSA(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) SCMP_TSA(assert_capability(x))
+#define RETURN_CAPABILITY(x) SCMP_TSA(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS SCMP_TSA(no_thread_safety_analysis)
+
+namespace scmp::util {
+
+/// std::mutex wrapped as an analysable capability. Same cost, same
+/// semantics; the attribute is the only difference.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock for util::Mutex — std::lock_guard with the scoped-capability
+/// attribute, so clang tracks the critical section's extent.
+class SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() RELEASE() { mu_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace scmp::util

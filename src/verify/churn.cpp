@@ -227,9 +227,14 @@ CheckOutcome ChurnModelChecker::replay(
 
   auto audit_at = [&](int index) {
     OBS_SPAN("verify.audit");
+    // determinism: allow(wall-clock measurement of audit cost, reported in
+    // audit_seconds only; no protocol decision or trace output reads it)
     const auto t0 = std::chrono::steady_clock::now();
     outcome.violations = auditor.audit();
     outcome.audit_seconds +=
+        // determinism: allow(wall-clock measurement of audit cost, reported
+        // in audit_seconds only; no protocol decision or trace output reads
+        // it)
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
     ++outcome.audits;

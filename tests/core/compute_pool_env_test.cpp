@@ -1,0 +1,84 @@
+// The SCMP_THREADS environment override for TreeComputePool's automatic
+// thread count. Lives in its own binary because it mutates the process
+// environment; the other pool tests must not observe a stray override.
+#include "core/compute_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "helpers.hpp"
+
+namespace scmp::core {
+namespace {
+
+class ComputePoolEnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("SCMP_THREADS"); }
+
+  int auto_count() {
+    const auto topo = test::random_topology(1, 12);
+    const graph::AllPairsPaths paths(topo.graph);
+    return TreeComputePool(topo.graph, paths, 0).thread_count();
+  }
+};
+
+TEST_F(ComputePoolEnvTest, OverrideSelectsExactCount) {
+  setenv("SCMP_THREADS", "3", 1);
+  EXPECT_EQ(auto_count(), 3);
+  setenv("SCMP_THREADS", "1", 1);
+  EXPECT_EQ(auto_count(), 1);
+}
+
+TEST_F(ComputePoolEnvTest, ExplicitArgumentBeatsOverride) {
+  setenv("SCMP_THREADS", "7", 1);
+  const auto topo = test::random_topology(1, 12);
+  const graph::AllPairsPaths paths(topo.graph);
+  EXPECT_EQ(TreeComputePool(topo.graph, paths, 2).thread_count(), 2);
+}
+
+TEST_F(ComputePoolEnvTest, MalformedOverrideFallsBackToHardware) {
+  unsetenv("SCMP_THREADS");
+  const int hardware = auto_count();
+  EXPECT_GE(hardware, 1);  // hardware_concurrency()==0 degrades to serial
+  for (const char* bad : {"", "0", "-4", "abc", "2x", "65537"}) {
+    setenv("SCMP_THREADS", bad, 1);
+    EXPECT_EQ(auto_count(), hardware) << "SCMP_THREADS=\"" << bad << '"';
+  }
+}
+
+TEST_F(ComputePoolEnvTest, OverrideDoesNotChangeResults) {
+  const auto topo = test::random_topology(9, 20);
+  const graph::AllPairsPaths paths(topo.graph);
+  std::vector<GroupMembership> groups;
+  for (int i = 0; i < 4; ++i) {
+    GroupMembership gm;
+    gm.group = i + 1;
+    for (int m = 0; m < 5; ++m)
+      gm.join_order.push_back((3 * i + 2 * m + 1) % topo.graph.num_nodes());
+    groups.push_back(std::move(gm));
+  }
+  const DcdmConfig cfg;
+
+  setenv("SCMP_THREADS", "1", 1);
+  const auto serial =
+      TreeComputePool(topo.graph, paths, 0).build_trees(0, groups, cfg);
+  setenv("SCMP_THREADS", "5", 1);
+  const auto parallel =
+      TreeComputePool(topo.graph, paths, 0).build_trees(0, groups, cfg);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (const auto& [group, tree] : serial) {
+    const auto it = parallel.find(group);
+    ASSERT_NE(it, parallel.end());
+    EXPECT_DOUBLE_EQ(tree.tree_cost(), it->second.tree_cost());
+    for (graph::NodeId v = 0; v < topo.graph.num_nodes(); ++v) {
+      ASSERT_EQ(tree.tree().on_tree(v), it->second.tree().on_tree(v));
+      if (tree.tree().on_tree(v))
+        EXPECT_EQ(tree.tree().parent(v), it->second.tree().parent(v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scmp::core

@@ -1,0 +1,112 @@
+// Canonical-emission-order pin (the determinism linter's runtime
+// counterpart): the BRANCH/PRUNE/DATA stream an SCMP domain emits must be a
+// pure function of the scenario — independent of heap layout, hash seeding
+// and process history. Two fresh worlds constructed back to back in one
+// process occupy different addresses, so any protocol decision that leaks
+// container-hash or pointer order diverges between them even though each
+// run looks internally consistent; the golden-trace test alone cannot catch
+// that class (it compares against a file, produced by the same biased run).
+#include "core/scmp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "igmp/igmp.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "sim/trace.hpp"
+#include "topo/arpanet.hpp"
+#include "util/rng.hpp"
+
+namespace scmp::core {
+namespace {
+
+struct World {
+  World()
+      : topo(topo::arpanet(rng)),
+        net(topo.graph, queue),
+        igmp(queue, topo.graph.num_nodes()),
+        scmp(net, igmp,
+             [] {
+               Scmp::Config cfg;
+               cfg.mrouter = 0;
+               return cfg;
+             }()),
+        recorder(net) {}
+
+  Rng rng{7};
+  topo::Topology topo;
+  sim::EventQueue queue;
+  sim::Network net;
+  igmp::IgmpDomain igmp;
+  Scmp scmp;
+  sim::TraceRecorder recorder;
+};
+
+/// Joins, sends and leaves with several packets in flight together — the
+/// shapes where an unordered candidate scan or pointer tie-break would pick
+/// a different but equally valid emission order.
+void run_scenario(Scmp& p, sim::EventQueue& q) {
+  p.host_join(5, 0);
+  p.host_join(12, 0);
+  p.host_join(19, 0);
+  q.run_all();
+  p.send_data(5, 0);
+  p.host_join(7, 1);
+  p.host_join(21, 1);
+  q.run_all();
+  p.send_data(21, 1);
+  p.host_leave(12, 0);
+  p.host_join(27, 0);
+  q.run_all();
+  p.host_leave(5, 0);
+  p.host_leave(19, 0);
+  p.host_leave(27, 0);
+  q.run_all();
+}
+
+std::string serialize(const std::vector<sim::TraceEvent>& events) {
+  std::ostringstream out;
+  for (const sim::TraceEvent& ev : events) {
+    char time[64];
+    std::snprintf(time, sizeof time, "%a", ev.time);
+    out << time << ' ' << ev.from << ' ' << ev.to << ' '
+        << sim::to_string(ev.type) << ' ' << ev.group << ' ' << ev.src << ' '
+        << ev.uid << ' ' << ev.size_bytes << '\n';
+  }
+  return out.str();
+}
+
+TEST(ScmpEmissionOrder, BitIdenticalAcrossFreshWorlds) {
+  std::string first;
+  for (int run = 0; run < 3; ++run) {
+    World w;
+    run_scenario(w.scmp, w.queue);
+    const std::string trace = serialize(w.recorder.events());
+    ASSERT_FALSE(trace.empty());
+    if (run == 0) {
+      first = trace;
+    } else {
+      EXPECT_EQ(trace, first)
+          << "emission order changed between identical runs in one process; "
+             "some protocol decision leaks heap-address or hash order";
+    }
+  }
+}
+
+TEST(ScmpEmissionOrder, TraceIsTimeOrdered) {
+  World w;
+  run_scenario(w.scmp, w.queue);
+  const auto& events = w.recorder.events();
+  ASSERT_FALSE(events.empty());
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LE(events[i - 1].time, events[i].time)
+        << "trace out of order at event " << i;
+}
+
+}  // namespace
+}  // namespace scmp::core

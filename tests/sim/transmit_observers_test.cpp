@@ -79,6 +79,22 @@ TEST_F(TransmitObserversTest, SecondRecorderDoesNotDisplaceFirst) {
   EXPECT_EQ(second.events().size(), 2u);
 }
 
+using TransmitObserversDeathTest = TransmitObserversTest;
+
+TEST_F(TransmitObserversDeathTest, RegistrationDuringDispatchIsRejected) {
+  // Mutating the observer chain mid-dispatch would invalidate the iterator
+  // driving it and make the observation order depend on when the mutation
+  // landed; the dispatch guard turns that bug into a contract failure.
+  net_.add_transmit_observer(
+      [this](graph::NodeId, graph::NodeId, const Packet&, SimTime) {
+        net_.add_transmit_observer(
+            [](graph::NodeId, graph::NodeId, const Packet&, SimTime) {});
+      });
+  Packet p;
+  // Observers dispatch at send time, so the send itself must die.
+  EXPECT_DEATH(net_.send_link(0, 1, p), "dispatching_observers_");
+}
+
 TEST_F(TransmitObserversTest, ObserversSeeEveryUnicastHop) {
   int hops = 0;
   net_.add_transmit_observer(

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Golden-fixture tests for tools/determinism_lint.py.
+
+Each fixture under tests/tools/fixtures/<rule>/ is a miniature repository
+(src/core/a.cpp + manifest.json) exercising one linter rule three ways:
+
+  pass        clean code: the linter must exit 0 and report nothing
+  fail        a violation with no annotation: exit 1, the finding names the
+              rule and the offending file
+  suppressed  the same violation carrying a `determinism: allow` annotation
+              with a matching manifest entry: exit 0
+
+The manifest-drift fixtures pin the cross-check itself: a manifest entry
+with no live annotation (`stale`) and an annotation suppressing nothing
+(`unused`) must both fail.
+
+Runs under ctest (see tests/CMakeLists.txt); needs only the stdlib.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+LINTER = REPO / "tools" / "determinism_lint.py"
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures"
+
+RULES = ("unordered-iteration", "pointer-key", "wall-clock", "thread-count",
+         "float-equality")
+
+failures: list[str] = []
+
+
+def run_case(case_dir: pathlib.Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(LINTER),
+         "--root", str(case_dir),
+         "--manifest", str(case_dir / "manifest.json"),
+         "--scan", "src/core"],
+        capture_output=True, text=True, check=False)
+
+
+def expect(case: str, ok: bool, detail: str):
+    tag = "ok  " if ok else "FAIL"
+    print(f"{tag} {case}: {detail}")
+    if not ok:
+        failures.append(case)
+
+
+def check_rule(rule: str):
+    base = FIXTURES / rule
+
+    r = run_case(base / "pass")
+    expect(f"{rule}/pass", r.returncode == 0 and "clean" in r.stdout,
+           f"exit={r.returncode}")
+
+    r = run_case(base / "fail")
+    flagged = f" {rule}: " in r.stdout and "src/core/a.cpp" in r.stdout
+    expect(f"{rule}/fail", r.returncode == 1 and flagged,
+           f"exit={r.returncode} flagged={flagged}")
+    wrong_rule = any(f" {other}: " in r.stdout
+                     for other in RULES if other != rule)
+    expect(f"{rule}/fail-only-this-rule", not wrong_rule,
+           f"other rules fired: {wrong_rule}")
+
+    r = run_case(base / "suppressed")
+    expect(f"{rule}/suppressed", r.returncode == 0 and "clean" in r.stdout,
+           f"exit={r.returncode}")
+
+
+def check_drift():
+    r = run_case(FIXTURES / "manifest-drift" / "stale")
+    expect("manifest-drift/stale",
+           r.returncode == 1 and "stale entry" in r.stdout,
+           f"exit={r.returncode}")
+
+    r = run_case(FIXTURES / "manifest-drift" / "unused")
+    expect("manifest-drift/unused",
+           r.returncode == 1 and "suppresses no finding" in r.stdout,
+           f"exit={r.returncode}")
+
+
+def main() -> int:
+    for rule in RULES:
+        check_rule(rule)
+    check_drift()
+    if failures:
+        print(f"\n{len(failures)} fixture case(s) failed: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("\nall fixture cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,1 @@
+bool tie(double cost, double best) { return cost == best; }

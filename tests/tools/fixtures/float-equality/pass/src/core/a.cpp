@@ -1,0 +1,5 @@
+bool same_id(int a, int b) { return a == b; }
+
+// `cost` is a double elsewhere in the tree, but here it is an int: the rule
+// resolves types per file (plus paired header), so this must not flag.
+bool same_cost(int cost, int other) { return cost == other; }

@@ -1,0 +1,4 @@
+bool tie(double cost, double best) {
+  // determinism: allow(both sides computed by the same expression shape)
+  return cost == best;
+}

@@ -1,0 +1,1 @@
+int plain(int a, int b) { return a + b; }

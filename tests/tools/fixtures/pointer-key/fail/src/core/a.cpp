@@ -1,0 +1,7 @@
+#include <map>
+
+struct Node {
+  int id;
+};
+
+std::map<Node*, int> by_address;

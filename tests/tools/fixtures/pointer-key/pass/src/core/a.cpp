@@ -1,0 +1,8 @@
+#include <map>
+
+struct Node {
+  int id;
+};
+
+// Pointer *values* are fine; only pointer keys order the container.
+std::map<int, Node*> by_id;

@@ -1,0 +1,8 @@
+#include <map>
+
+struct Node {
+  int id;
+};
+
+// determinism: allow(lookup only; nothing iterates or tie-breaks on it)
+std::map<Node*, int> by_address;

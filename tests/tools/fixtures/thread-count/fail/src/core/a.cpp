@@ -1,0 +1,5 @@
+#include <thread>
+
+int worker_count() {
+  return static_cast<int>(std::thread::hardware_concurrency());
+}

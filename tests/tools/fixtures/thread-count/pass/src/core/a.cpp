@@ -1,0 +1,1 @@
+int worker_count(int requested) { return requested > 0 ? requested : 1; }

@@ -1,0 +1,6 @@
+#include <thread>
+
+int worker_count() {
+  // determinism: allow(partitioning only; results identical at any count)
+  return static_cast<int>(std::thread::hardware_concurrency());
+}

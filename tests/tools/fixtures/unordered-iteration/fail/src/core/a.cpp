@@ -1,0 +1,9 @@
+#include <unordered_map>
+
+int sum_unordered() {
+  std::unordered_map<int, int> weights;
+  weights[2] = 3;
+  int total = 0;
+  for (const auto& [k, v] : weights) total += v;
+  return total;
+}

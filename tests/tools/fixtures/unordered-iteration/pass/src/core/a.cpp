@@ -1,0 +1,9 @@
+#include <map>
+
+int sum_ordered() {
+  std::map<int, int> weights;
+  weights[2] = 3;
+  int total = 0;
+  for (const auto& [k, v] : weights) total += v;
+  return total;
+}

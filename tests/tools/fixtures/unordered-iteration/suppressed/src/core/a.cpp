@@ -1,0 +1,10 @@
+#include <unordered_map>
+
+int sum_unordered() {
+  std::unordered_map<int, int> weights;
+  weights[2] = 3;
+  int total = 0;
+  // determinism: allow(sum is commutative; iteration order cannot change it)
+  for (const auto& [k, v] : weights) total += v;
+  return total;
+}

@@ -1,0 +1,1 @@
+double next_time(double now, double step) { return now + step; }

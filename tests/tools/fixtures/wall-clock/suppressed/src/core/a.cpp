@@ -1,0 +1,7 @@
+#include <chrono>
+
+double seconds_now() {
+  // determinism: allow(wall-time reporting only; no result depends on it)
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

@@ -39,6 +39,16 @@ Rules (each failure prints ``file:line: rule-id: message``):
                    — they reuse per-instance scratch buffers instead. A
                    deliberate exception carries a same- or previous-line
                    ``// hot-path: allow(<why>)`` annotation.
+  determinism-hygiene
+                   every ``// determinism: allow(<reason>)`` annotation in
+                   the directories tools/determinism_lint.py scans has a
+                   matching (file, reason) entry in
+                   tools/determinism_manifest.json and vice versa, and every
+                   manifest entry names a known determinism rule. The full
+                   rule evaluation (does the annotation actually suppress a
+                   finding?) lives in determinism_lint.py; this cross-check
+                   catches annotation<->manifest drift even when only one of
+                   the two linters runs.
 
 Usage: tools/lint.py [--root REPO_ROOT]
 Exits non-zero when any finding is reported.
@@ -67,6 +77,17 @@ VERIFY_INVARIANTS_HPP = "src/verify/invariants.hpp"
 
 # The observability-surface manifest the obs-hygiene rule cross-checks.
 OBS_MANIFEST = "src/obs/metrics_manifest.json"
+
+# The determinism-suppression manifest the determinism-hygiene rule
+# cross-checks. Must stay in sync with tools/determinism_lint.py, which
+# performs the full rule evaluation; this rule only guards the
+# annotation<->manifest correspondence.
+DETERMINISM_MANIFEST = "tools/determinism_manifest.json"
+DETERMINISM_SCAN_DIRS = ("src/core", "src/graph", "src/sim", "src/protocols",
+                         "src/verify")
+DETERMINISM_RULES = ("unordered-iteration", "pointer-key", "wall-clock",
+                     "thread-count", "float-equality")
+DETERMINISM_ALLOW_TOKEN = "determinism: allow("
 
 # Allocation-free hot paths: file -> function definitions the hot-path-alloc
 # rule scans. join() runs per membership change, dijkstra_into() n times per
@@ -541,6 +562,83 @@ class Linter:
             self.report(manifest_path, 1, "obs-hygiene",
                         f'stale manifest span "{name}": no OBS_SPAN uses it')
 
+    def _determinism_annotations(self, raw: str) -> list[tuple[int, str]]:
+        """(line, whitespace-collapsed reason) for every ``determinism:
+        allow(<reason>)`` in ``raw``; the reason may wrap across comment
+        lines and ends at the balanced closing parenthesis."""
+        out = []
+        pos = 0
+        while True:
+            start = raw.find(DETERMINISM_ALLOW_TOKEN, pos)
+            if start < 0:
+                return out
+            open_paren = start + len(DETERMINISM_ALLOW_TOKEN) - 1
+            depth, i = 0, open_paren
+            while i < len(raw):
+                if raw[i] == "(":
+                    depth += 1
+                elif raw[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            reason = re.sub(r"\n\s*//+", " ", raw[open_paren + 1:i])
+            out.append((raw.count("\n", 0, start) + 1,
+                        " ".join(reason.split())))
+            pos = i + 1
+
+    def check_determinism_hygiene(self):
+        manifest_path = self.root / DETERMINISM_MANIFEST
+        if not manifest_path.is_file():
+            self.report(manifest_path, 1, "determinism-hygiene",
+                        "determinism suppression manifest is missing")
+            return
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as err:
+            self.report(manifest_path, getattr(err, "lineno", 1),
+                        "determinism-hygiene",
+                        f"manifest is not valid JSON: {err}")
+            return
+
+        declared: set[tuple[str, str]] = set()
+        for entry in manifest.get("suppressions", []):
+            rule = entry.get("rule", "")
+            if rule not in DETERMINISM_RULES:
+                self.report(manifest_path, 1, "determinism-hygiene",
+                            f"unknown determinism rule '{rule}' (expected one "
+                            f"of {', '.join(DETERMINISM_RULES)})")
+                continue
+            rel, reason = entry.get("file", ""), entry.get("reason", "")
+            if not rel or not reason.strip():
+                self.report(manifest_path, 1, "determinism-hygiene",
+                            "suppression entry needs non-empty 'file', "
+                            "'rule' and 'reason'")
+                continue
+            declared.add((rel, " ".join(reason.split())))
+
+        live: set[tuple[str, str]] = set()
+        for d in DETERMINISM_SCAN_DIRS:
+            base = self.root / d
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*")):
+                if path.suffix not in (".cpp", ".hpp"):
+                    continue
+                raw = path.read_text(encoding="utf-8")
+                rel = str(path.relative_to(self.root))
+                for lineno, reason in self._determinism_annotations(raw):
+                    live.add((rel, reason))
+                    if (rel, reason) not in declared:
+                        self.report(
+                            path, lineno, "determinism-hygiene",
+                            "`determinism: allow` annotation has no matching "
+                            f"(file, reason) entry in {DETERMINISM_MANIFEST}")
+        for rel, reason in sorted(declared - live):
+            self.report(manifest_path, 1, "determinism-hygiene",
+                        f"stale suppression for {rel}: no live `determinism: "
+                        f"allow` annotation with reason \"{reason}\"")
+
     def check_hot_paths(self):
         for rel, funcs in HOT_PATH_FUNCS.items():
             path = self.root / rel
@@ -630,6 +728,7 @@ class Linter:
                     self.check_header_using(path, code)
         self.check_verify_hygiene()
         self.check_obs_hygiene()
+        self.check_determinism_hygiene()
         self.check_hot_paths()
         for f in self.findings:
             print(f)
