@@ -12,6 +12,8 @@ namespace scmp::core {
 namespace {
 
 /// SCMP control types that travel reliably when Config::reliability is on.
+/// Exhaustive on purpose: adding a PacketType forces a decision here
+/// (-Wswitch) about whether it participates in the reliability machinery.
 bool is_scmp_control(sim::PacketType t) {
   switch (t) {
     case sim::PacketType::kJoin:
@@ -21,9 +23,23 @@ bool is_scmp_control(sim::PacketType t) {
     case sim::PacketType::kPrune:
     case sim::PacketType::kClear:
       return true;
-    default:
+    case sim::PacketType::kData:
+    case sim::PacketType::kDataEncap:
+    case sim::PacketType::kAck:
+    case sim::PacketType::kCbtJoin:
+    case sim::PacketType::kCbtAck:
+    case sim::PacketType::kCbtQuit:
+    case sim::PacketType::kDvmrpPrune:
+    case sim::PacketType::kDvmrpGraft:
+    case sim::PacketType::kPimJoin:
+    case sim::PacketType::kPimPrune:
+    case sim::PacketType::kGroupLsa:
+    case sim::PacketType::kIgmpQuery:
+    case sim::PacketType::kIgmpReport:
+    case sim::PacketType::kIgmpLeave:
       return false;
   }
+  return false;
 }
 
 }  // namespace
@@ -92,13 +108,28 @@ void Scmp::send_ack(graph::NodeId at, const sim::Packet& pkt,
       // endpoint is the neighbour that put the packet on this link.
       SCMP_ASSERT(from != graph::kInvalidNode);
       ack.dst = from;
+      // protocol: fire-and-forget(acks terminate the reliability handshake —
+      // retransmitting an ACK reliably would itself need ACKs; a lost ack is
+      // repaired by the sender's retry of the original request (hop-by-hop
+      // ack).)
       net().send_link(at, from, std::move(ack));
       break;
-    default:
+    case sim::PacketType::kJoin:
+    case sim::PacketType::kLeave:
+    case sim::PacketType::kClear:
       // JOIN / LEAVE / CLEAR travel by unicast; the originator is pkt.src.
       SCMP_ASSERT(pkt.src != graph::kInvalidNode);
       ack.dst = pkt.src;
+      // protocol: fire-and-forget(acks terminate the reliability handshake —
+      // retransmitting an ACK reliably would itself need ACKs; a lost ack is
+      // repaired by the sender's retry of the original request (end-to-end
+      // ack).)
       net().send_unicast(at, std::move(ack));
+      break;
+    default:
+      // Acknowledgements exist only for the SCMP control grammar; asking for
+      // one on any other type is a programming error, not network input.
+      SCMP_ASSERT(false && "ack requested for a non-control packet type");
       break;
   }
 }
@@ -826,12 +857,18 @@ void Scmp::send_data(graph::NodeId source, GroupId group) {
   sim::Packet pkt = make_data_packet(source, group);
   if (source == mrouter_of(group) ||
       mutable_entry_at(source, group) != nullptr) {
+    // protocol: fire-and-forget(data traffic is best-effort by design — the
+    // paper's reliability machinery covers control packets only (on-tree
+    // DATA injection).)
     net().inject(source, std::move(pkt));
     return;
   }
   // Off-tree source: encapsulate in a unicast packet to the m-router.
   pkt.type = sim::PacketType::kDataEncap;
   pkt.dst = mrouter_of(group);
+  // protocol: fire-and-forget(data traffic is best-effort by design — the
+  // paper's reliability machinery covers control packets only (DATA_ENCAP
+  // toward the m-router).)
   net().send_unicast(source, std::move(pkt));
 }
 
@@ -873,12 +910,19 @@ void Scmp::forward_data(graph::NodeId at, const sim::Packet& pkt,
     net().queue().schedule_in(
         transit, [this, at, from, fset, p = pkt]() {
           for (graph::NodeId next : fset) {
+            // protocol: fire-and-forget(data traffic is best-effort by
+            // design — the paper's reliability machinery covers control
+            // packets only (delayed on-tree DATA fan-out behind the fabric
+            // transit model).)
             if (next != from) net().send_link(at, next, p);
           }
         });
     return;
   }
   for (graph::NodeId next : fset) {
+    // protocol: fire-and-forget(data traffic is best-effort by design — the
+    // paper's reliability machinery covers control packets only (on-tree
+    // DATA fan-out).)
     if (next != from) net().send_link(at, next, pkt);
   }
 }
@@ -937,7 +981,10 @@ void Scmp::handle_packet(graph::NodeId at, const sim::Packet& pkt,
       break;
     }
     default:
-      SCMP_ASSERT(false && "unexpected packet type in SCMP");
+      // Foreign-protocol traffic arriving through the shared Network
+      // plumbing: counted + logged (net.drops.unexpected_type), not a crash.
+      drop_unexpected(at, pkt);
+      break;
   }
 }
 

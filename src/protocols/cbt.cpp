@@ -72,7 +72,11 @@ void Cbt::handle_packet(graph::NodeId at, const sim::Packet& pkt,
     case sim::PacketType::kCbtQuit: handle_quit(at, pkt, from); break;
     case sim::PacketType::kData:
     case sim::PacketType::kDataEncap: handle_data(at, pkt, from); break;
-    default: SCMP_ASSERT(false && "unexpected packet type in CBT");
+    default:
+      // Foreign-protocol traffic through the shared Network plumbing:
+      // counted + logged (net.drops.unexpected_type), not a crash.
+      drop_unexpected(at, pkt);
+      break;
   }
 }
 

@@ -40,7 +40,10 @@ void Dvmrp::handle_packet(graph::NodeId at, const sim::Packet& pkt,
       handle_graft(at, pkt, from);
       break;
     default:
-      SCMP_ASSERT(false && "unexpected packet type in DVMRP");
+      // Foreign-protocol traffic through the shared Network plumbing:
+      // counted + logged (net.drops.unexpected_type), not a crash.
+      drop_unexpected(at, pkt);
+      break;
   }
 }
 

@@ -22,7 +22,10 @@ void Mospf::handle_packet(graph::NodeId at, const sim::Packet& pkt,
       handle_lsa(at, pkt, from);
       break;
     default:
-      SCMP_ASSERT(false && "unexpected packet type in MOSPF");
+      // Foreign-protocol traffic through the shared Network plumbing:
+      // counted + logged (net.drops.unexpected_type), not a crash.
+      drop_unexpected(at, pkt);
+      break;
   }
 }
 

@@ -1,6 +1,8 @@
 #include "protocols/multicast_protocol.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/contracts.hpp"
+#include "util/log.hpp"
 
 namespace scmp::proto {
 
@@ -38,6 +40,13 @@ void MulticastProtocol::host_join(graph::NodeId router, GroupId group,
 void MulticastProtocol::host_leave(graph::NodeId router, GroupId group,
                                    int iface, int host) {
   igmp_->host_leave(router, iface, host, group);
+}
+
+void MulticastProtocol::drop_unexpected(graph::NodeId at,
+                                        const sim::Packet& pkt) {
+  obs::counter("net.drops.unexpected_type", name()).inc();
+  log_debug(name(), ": dropping unexpected ", sim::to_string(pkt.type),
+            " packet at node ", at);
 }
 
 sim::Packet MulticastProtocol::make_data_packet(graph::NodeId source,

@@ -78,6 +78,13 @@ class MulticastProtocol : public igmp::MembershipListener {
   /// A fresh data packet (uid, timestamps and default size filled in).
   sim::Packet make_data_packet(graph::NodeId source, GroupId group);
 
+  /// Counts + debug-logs a packet the dispatch switch had no case for.
+  /// Foreign-protocol traffic can reach any agent through the shared Network
+  /// plumbing, so an unknown type is dropped visibly — one tick on the
+  /// net.drops.unexpected_type counter tagged with name() — never swallowed
+  /// silently and never a crash.
+  void drop_unexpected(graph::NodeId at, const sim::Packet& pkt);
+
  private:
   struct NodeAdapter final : sim::RouterAgent {
     MulticastProtocol* protocol = nullptr;

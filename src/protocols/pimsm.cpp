@@ -450,7 +450,11 @@ void PimSm::handle_packet(graph::NodeId at, const sim::Packet& pkt,
     case sim::PacketType::kPimPrune: handle_prune(at, pkt, from); break;
     case sim::PacketType::kData:
     case sim::PacketType::kDataEncap: handle_data(at, pkt, from); break;
-    default: SCMP_ASSERT(false && "unexpected packet type in PIM-SM");
+    default:
+      // Foreign-protocol traffic through the shared Network plumbing:
+      // counted + logged (net.drops.unexpected_type), not a crash.
+      drop_unexpected(at, pkt);
+      break;
   }
 }
 

@@ -1,0 +1,113 @@
+// A packet type a protocol's dispatch switch has no case for must be dropped
+// visibly — one tick on net.drops.unexpected_type tagged with the protocol's
+// name — never swallowed silently and never a crash. Foreign-protocol traffic
+// can reach any agent through the shared Network plumbing (e.g. a harness
+// wiring two protocols to one Network), so this is network input, not a
+// programming error. Regression for the PR that converted the asserting
+// dispatch defaults, and the live counterpart of protocol_lint.py's
+// dispatch-exhaustiveness rule.
+#include <gtest/gtest.h>
+
+#include "core/scmp.hpp"
+#include "helpers.hpp"
+#include "obs/metrics.hpp"
+#include "protocols/cbt.hpp"
+#include "protocols/dvmrp.hpp"
+#include "protocols/mospf.hpp"
+#include "protocols/pimsm.hpp"
+
+namespace scmp {
+namespace {
+
+constexpr igmp::GroupId kGroup = 1;
+
+/// A foreign-protocol packet of type `t` addressed to `group`.
+sim::Packet foreign(sim::PacketType t) {
+  sim::Packet pkt;
+  pkt.type = t;
+  pkt.group = kGroup;
+  pkt.src = 0;
+  return pkt;
+}
+
+class MetricsOn {
+ public:
+  MetricsOn() { obs::set_metrics_enabled(true); }
+  ~MetricsOn() { obs::set_metrics_enabled(false); }
+};
+
+/// Delivers `pkt` straight into `proto`'s dispatch at node 1 and returns the
+/// growth of the protocol's unexpected-type drop counter.
+template <typename Proto>
+std::uint64_t drops_after(Proto& proto, const sim::Packet& pkt) {
+  obs::Counter& drops =
+      obs::counter("net.drops.unexpected_type", proto.name());
+  const std::uint64_t before = drops.value();
+  proto.handle_packet(1, pkt, 0);
+  return drops.value() - before;
+}
+
+template <typename Proto, typename... Args>
+void expect_counted_drop(sim::PacketType foreign_type, Args&&... args) {
+  MetricsOn metrics;
+  graph::Graph g = test::line(3);
+  sim::EventQueue queue;
+  sim::Network net(g, queue);
+  igmp::IgmpDomain igmp(queue, g.num_nodes());
+  Proto proto(net, igmp, std::forward<Args>(args)...);
+  EXPECT_EQ(drops_after(proto, foreign(foreign_type)), 1u)
+      << proto.name() << " did not count the unexpected "
+      << sim::to_string(foreign_type) << " packet";
+  queue.run_all();  // whatever was scheduled must still be side-effect free
+}
+
+TEST(UnexpectedType, DvmrpCountsForeignPacket) {
+  expect_counted_drop<proto::Dvmrp>(sim::PacketType::kCbtJoin);
+}
+
+TEST(UnexpectedType, MospfCountsForeignPacket) {
+  expect_counted_drop<proto::Mospf>(sim::PacketType::kDvmrpPrune);
+}
+
+TEST(UnexpectedType, CbtCountsForeignPacket) {
+  expect_counted_drop<proto::Cbt>(sim::PacketType::kGroupLsa);
+}
+
+TEST(UnexpectedType, PimSmCountsForeignPacket) {
+  expect_counted_drop<proto::PimSm>(sim::PacketType::kCbtQuit);
+}
+
+TEST(UnexpectedType, ScmpCountsForeignPacket) {
+  expect_counted_drop<core::Scmp>(sim::PacketType::kPimJoin,
+                                  core::Scmp::Config{});
+}
+
+TEST(UnexpectedType, EveryForeignTypeIsCountedNotCrashed) {
+  // Sweep the whole enum through SCMP's dispatch: every type outside its
+  // grammar must land on the drop counter, every type inside must not.
+  MetricsOn metrics;
+  graph::Graph g = test::line(3);
+  sim::EventQueue queue;
+  sim::Network net(g, queue);
+  igmp::IgmpDomain igmp(queue, g.num_nodes());
+  core::Scmp proto(net, igmp, core::Scmp::Config{});
+  for (sim::PacketType t : {sim::PacketType::kCbtJoin,
+                            sim::PacketType::kCbtAck,
+                            sim::PacketType::kCbtQuit,
+                            sim::PacketType::kDvmrpPrune,
+                            sim::PacketType::kDvmrpGraft,
+                            sim::PacketType::kPimJoin,
+                            sim::PacketType::kPimPrune,
+                            sim::PacketType::kGroupLsa,
+                            sim::PacketType::kIgmpQuery,
+                            sim::PacketType::kIgmpReport,
+                            sim::PacketType::kIgmpLeave}) {
+    EXPECT_EQ(drops_after(proto, foreign(t)), 1u)
+        << "SCMP did not count " << sim::to_string(t);
+  }
+  // A native type must not be miscounted as unexpected.
+  EXPECT_EQ(drops_after(proto, foreign(sim::PacketType::kData)), 0u);
+}
+
+}  // namespace
+}  // namespace scmp

@@ -1,0 +1,21 @@
+// Fixture: the dispatch default silently swallows unexpected types.
+void send_all(Net& n) {
+  Packet p;
+  p.type = PacketType::kJoin;
+  n.post(p);
+  p.type = PacketType::kLeave;
+  n.post(p);
+}
+
+void handle_packet(const Packet& pkt) {
+  switch (pkt.type) {
+    case PacketType::kJoin:
+      on_join(pkt);
+      break;
+    case PacketType::kLeave:
+      on_leave(pkt);
+      break;
+    default:
+      break;
+  }
+}

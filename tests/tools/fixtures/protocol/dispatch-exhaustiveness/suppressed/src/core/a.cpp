@@ -1,0 +1,23 @@
+// Fixture: the silent default carries a reviewed allow annotation.
+void send_all(Net& n) {
+  Packet p;
+  p.type = PacketType::kJoin;
+  n.post(p);
+  p.type = PacketType::kLeave;
+  n.post(p);
+}
+
+void handle_packet(const Packet& pkt) {
+  switch (pkt.type) {
+    case PacketType::kJoin:
+      on_join(pkt);
+      break;
+    case PacketType::kLeave:
+      on_leave(pkt);
+      break;
+    // protocol: allow(foreign traffic is counted by the harness around this
+    // fixture dispatcher)
+    default:
+      break;
+  }
+}

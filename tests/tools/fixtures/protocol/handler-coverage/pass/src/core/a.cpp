@@ -1,0 +1,22 @@
+// Fixture: a PacketType dispatch whose default asserts — clean.
+void send_all(Net& n) {
+  Packet p;
+  p.type = PacketType::kJoin;
+  n.post(p);
+  p.type = PacketType::kLeave;
+  n.post(p);
+}
+
+void handle_packet(const Packet& pkt) {
+  switch (pkt.type) {
+    case PacketType::kJoin:
+      on_join(pkt);
+      break;
+    case PacketType::kLeave:
+      on_leave(pkt);
+      break;
+    default:
+      SCMP_ASSERT(false && "unexpected packet type");
+      break;
+  }
+}

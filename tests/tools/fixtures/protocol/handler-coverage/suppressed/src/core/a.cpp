@@ -1,0 +1,6 @@
+// Fixture: kJoin is sent but no handle* function ever matches it.
+void send_one(Net& n) {
+  Packet p;
+  p.type = PacketType::kJoin;
+  n.post(p);
+}

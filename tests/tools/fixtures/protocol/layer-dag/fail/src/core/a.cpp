@@ -1,0 +1,3 @@
+#include "graph/a.hpp"
+
+int use_graph() { return graph_util(); }

@@ -1,0 +1,3 @@
+#pragma once
+#include "core/b.hpp"
+int graph_util();

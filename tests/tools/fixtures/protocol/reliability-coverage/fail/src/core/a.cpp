@@ -1,0 +1,4 @@
+// Fixture: a raw core send that bypasses the retransmission table.
+void send_notify(int at, Packet pkt) {
+  net().send_unicast(at, pkt);
+}

@@ -1,0 +1,6 @@
+// Fixture: the send wrapper arms the retransmission table — clean.
+void send_control(int from, int to, Packet pkt) {
+  pkt.req = next_req();
+  retx_.arm(from, pkt.req, [=]() { net().send_link(from, to, pkt); });
+  net().send_link(from, to, pkt);
+}

@@ -1,0 +1,6 @@
+// Fixture: the raw send carries a reviewed fire-and-forget annotation.
+void send_notify(int at, Packet pkt) {
+  // protocol: fire-and-forget(best-effort notification; the periodic
+  // reconciliation pass repairs any loss)
+  net().send_unicast(at, pkt);
+}

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Golden-fixture tests for tools/protocol_lint.py.
+
+Each fixture under tests/tools/fixtures/protocol/<rule>/ is a miniature
+repository (src/ sources + manifest.json + layers.json) exercising one
+linter rule three ways:
+
+  pass        clean code: the linter must exit 0 and report nothing
+  fail        a violation with no suppression: exit 1, the finding names the
+              rule and the offending file
+  suppressed  the same violation carrying the rule's suppression — a
+              `protocol: allow` / `protocol: fire-and-forget` annotation
+              with a matching manifest entry, an unpaired_types entry
+              (handler-coverage), or a layer_exceptions entry (layer-dag):
+              exit 0
+
+The layer-dag fail case is the acceptance-criteria back edge: src/graph/
+including src/core/. The manifest-drift fixtures pin the cross-check
+itself: a manifest entry with no live annotation (`stale`) and an
+annotation suppressing nothing (`unused`) must both fail.
+
+Runs under ctest (see tests/CMakeLists.txt); needs only the stdlib.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+LINTER = REPO / "tools" / "protocol_lint.py"
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures" / "protocol"
+
+# rule -> the file its fail-case finding must name.
+RULES = {
+    "dispatch-exhaustiveness": "src/core/a.cpp",
+    "handler-coverage": "src/core/a.cpp",
+    "reliability-coverage": "src/core/a.cpp",
+    "layer-dag": "src/graph/a.hpp",
+}
+
+failures: list[str] = []
+
+
+def run_case(case_dir: pathlib.Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(LINTER),
+         "--root", str(case_dir),
+         "--manifest", str(case_dir / "manifest.json"),
+         "--layers", str(case_dir / "layers.json"),
+         "--scan", "src/core"],
+        capture_output=True, text=True, check=False)
+
+
+def expect(case: str, ok: bool, detail: str):
+    tag = "ok  " if ok else "FAIL"
+    print(f"{tag} {case}: {detail}")
+    if not ok:
+        failures.append(case)
+
+
+def check_rule(rule: str, flagged_file: str):
+    base = FIXTURES / rule
+
+    r = run_case(base / "pass")
+    expect(f"{rule}/pass", r.returncode == 0 and "clean" in r.stdout,
+           f"exit={r.returncode}")
+
+    r = run_case(base / "fail")
+    flagged = f" {rule}: " in r.stdout and flagged_file in r.stdout
+    expect(f"{rule}/fail", r.returncode == 1 and flagged,
+           f"exit={r.returncode} flagged={flagged}")
+    wrong_rule = any(f" {other}: " in r.stdout
+                     for other in RULES if other != rule)
+    expect(f"{rule}/fail-only-this-rule", not wrong_rule,
+           f"other rules fired: {wrong_rule}")
+
+    r = run_case(base / "suppressed")
+    expect(f"{rule}/suppressed", r.returncode == 0 and "clean" in r.stdout,
+           f"exit={r.returncode}")
+
+
+def check_drift():
+    r = run_case(FIXTURES / "manifest-drift" / "stale")
+    expect("manifest-drift/stale",
+           r.returncode == 1 and "stale entry" in r.stdout,
+           f"exit={r.returncode}")
+
+    r = run_case(FIXTURES / "manifest-drift" / "unused")
+    expect("manifest-drift/unused",
+           r.returncode == 1 and "suppresses no finding" in r.stdout,
+           f"exit={r.returncode}")
+
+
+def main() -> int:
+    for rule, flagged_file in RULES.items():
+        check_rule(rule, flagged_file)
+    check_drift()
+    if failures:
+        print(f"\n{len(failures)} fixture case(s) failed: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("\nall fixture cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
