@@ -72,6 +72,36 @@ void BM_ChurnReliable(benchmark::State& state) {
 }
 BENCHMARK(BM_ChurnReliable)->Arg(50);
 
+/// Reliable churn with the per-group convergence tracker enabled — the cost
+/// of measuring time-to-convergence (pending-set upkeep, a consistency
+/// predicate per handled control packet, timeout timers) relative to
+/// BM_ChurnReliable's identical workload.
+void BM_ChurnConvergenceTracked(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  Rng rng(7);
+  const topo::Topology topo = topo::arpanet(rng);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    sim::Network net(topo.graph, queue);
+    igmp::IgmpDomain igmp(queue, topo.graph.num_nodes());
+    core::Scmp::Config cfg;
+    cfg.mrouter = 0;
+    cfg.reliability.enabled = true;
+    core::Scmp scmp(net, igmp, cfg);
+    scmp.enable_convergence_tracking();
+    for (int r = 0; r < rounds; ++r) {
+      const graph::NodeId member = 3 + (r * 7) % (topo::kArpanetNodes - 4);
+      scmp.host_join(member, /*group=*/0);
+      queue.run_all();
+      scmp.host_leave(member, /*group=*/0);
+      queue.run_all();
+    }
+    benchmark::DoNotOptimize(scmp.convergence_tracker()->stats().converged);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * rounds);
+}
+BENCHMARK(BM_ChurnConvergenceTracked)->Arg(50);
+
 void BM_ReconcileHealthyDomain(benchmark::State& state) {
   const int groups = static_cast<int>(state.range(0));
   Rng rng(7);

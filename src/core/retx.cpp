@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 #include "util/log.hpp"
@@ -26,6 +27,8 @@ void RetxTable::arm(graph::NodeId sender, std::uint64_t req,
   const bool inserted =
       by_sender_[sender].emplace(req, std::move(p)).second;
   SCMP_EXPECTS(inserted && "request uids are never reused");
+  obs::flight_record(obs::FlightEventKind::kArm, queue_->now(), req, "", -1,
+                     sender, -1);
   schedule_timer(sender, req, cfg_.timeout);
 }
 
@@ -36,6 +39,8 @@ void RetxTable::ack(graph::NodeId sender, std::uint64_t req) {
   ++acked_;
   static obs::Counter& acks = obs::counter("scmp.retx.acked");
   acks.inc();
+  obs::flight_record(obs::FlightEventKind::kAck, queue_->now(), req, "", -1,
+                     sender, -1);
   if (sit->second.empty()) by_sender_.erase(sit);
 }
 
@@ -69,6 +74,8 @@ void RetxTable::schedule_timer(graph::NodeId sender, std::uint64_t req,
       ++exhausted_;
       static obs::Counter& exhausted = obs::counter("scmp.retx.exhausted");
       exhausted.inc();
+      obs::flight_record(obs::FlightEventKind::kExhausted, queue_->now(), req,
+                         "", -1, sender, -1);
       log_debug("retx: sender ", sender, " abandoned request ", req, " after ",
                 p.attempts, " retransmission(s)");
       sit->second.erase(it);
@@ -79,6 +86,8 @@ void RetxTable::schedule_timer(graph::NodeId sender, std::uint64_t req,
     ++retransmissions_;
     static obs::Counter& retx = obs::counter("scmp.retx.packets");
     retx.inc();
+    obs::flight_record(obs::FlightEventKind::kRetx, queue_->now(), req, "",
+                       -1, sender, -1);
     const double next = p.next_timeout;
     p.next_timeout *= cfg_.backoff;
     p.resend();

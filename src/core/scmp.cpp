@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/tree_packet.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "util/log.hpp"
@@ -42,6 +43,36 @@ bool is_scmp_control(sim::PacketType t) {
   return false;
 }
 
+/// Flight-record label for a control packet (string literals only: the
+/// recorder stores the pointer, not a copy). Non-SCMP types label as "?" —
+/// SCMP's send sites never pass one.
+const char* control_name(sim::PacketType t) {
+  switch (t) {
+    case sim::PacketType::kJoin: return "JOIN";
+    case sim::PacketType::kLeave: return "LEAVE";
+    case sim::PacketType::kTree: return "TREE";
+    case sim::PacketType::kBranch: return "BRANCH";
+    case sim::PacketType::kPrune: return "PRUNE";
+    case sim::PacketType::kClear: return "CLEAR";
+    case sim::PacketType::kAck: return "ACK";
+    case sim::PacketType::kData:
+    case sim::PacketType::kDataEncap:
+    case sim::PacketType::kCbtJoin:
+    case sim::PacketType::kCbtAck:
+    case sim::PacketType::kCbtQuit:
+    case sim::PacketType::kDvmrpPrune:
+    case sim::PacketType::kDvmrpGraft:
+    case sim::PacketType::kGroupLsa:
+    case sim::PacketType::kPimJoin:
+    case sim::PacketType::kPimPrune:
+    case sim::PacketType::kIgmpQuery:
+    case sim::PacketType::kIgmpReport:
+    case sim::PacketType::kIgmpLeave:
+      return "?";
+  }
+  return "?";
+}
+
 }  // namespace
 
 Scmp::Scmp(sim::Network& net, igmp::IgmpDomain& igmp, Config cfg)
@@ -75,6 +106,8 @@ void Scmp::send_control_link(graph::NodeId from, graph::NodeId to,
     return;
   }
   pkt.req = retx_.next_req();
+  obs::flight_record(obs::FlightEventKind::kSend, net().now(), pkt.req,
+                     control_name(pkt.type), pkt.group, from, to);
   retx_.arm(from, pkt.req, [this, from, to, copy = pkt]() {
     net().send_link(from, to, copy);
   });
@@ -87,6 +120,8 @@ void Scmp::send_control_unicast(graph::NodeId from, sim::Packet pkt) {
     return;
   }
   pkt.req = retx_.next_req();
+  obs::flight_record(obs::FlightEventKind::kSend, net().now(), pkt.req,
+                     control_name(pkt.type), pkt.group, from, pkt.dst);
   retx_.arm(from, pkt.req, [this, from, copy = pkt]() {
     net().send_unicast(from, copy);
   });
@@ -195,8 +230,13 @@ const Scmp::Entry* Scmp::entry_at(graph::NodeId router, GroupId group) const {
 void Scmp::interface_joined(graph::NodeId router, GroupId group, int iface,
                             bool first_iface) {
   const graph::NodeId root = mrouter_of(group);
+  // The convergence clock starts at the membership event itself, so the
+  // measured time covers request loss, retransmission and repair latency.
+  if (first_iface && convergence() != nullptr) convergence()->note_event(group);
   if (router == root) {
     local_membership_change(group, /*joined=*/true);
+    // No packet will flow for a root-local join; resolve the measurement now.
+    check_convergence(group);
     return;
   }
   Entry* e = mutable_entry_at(router, group);
@@ -217,8 +257,12 @@ void Scmp::interface_joined(graph::NodeId router, GroupId group, int iface,
 void Scmp::interface_left(graph::NodeId router, GroupId group, int iface,
                           bool last_iface) {
   const graph::NodeId root = mrouter_of(group);
+  if (last_iface && convergence() != nullptr) convergence()->note_event(group);
   if (router == root) {
-    if (last_iface) local_membership_change(group, /*joined=*/false);
+    if (last_iface) {
+      local_membership_change(group, /*joined=*/false);
+      check_convergence(group);
+    }
     return;
   }
   Entry* e = mutable_entry_at(router, group);
@@ -286,6 +330,8 @@ void Scmp::mrouter_handle_join(GroupId group, graph::NodeId requester,
   static obs::Counter& joins = obs::counter("scmp.joins");
   joins.inc();
   const double now = net().now();
+  obs::flight_record(obs::FlightEventKind::kHandle, now, req, "JOIN", group,
+                     requester, mrouter_of(group));
   db_.start_session(group, now);
   db_.record_join(group, requester, now, req);
 
@@ -301,6 +347,8 @@ void Scmp::mrouter_handle_join(GroupId group, graph::NodeId requester,
   }
 
   const JoinResult res = t.join(requester);
+  obs::flight_record(obs::FlightEventKind::kCompute, now, req, "DCDM", group,
+                     requester, mrouter_of(group));
   if (!res.is_new_member || res.already_on_tree) return;  // no topology change
 
   const std::uint64_t version = next_install_version(group);
@@ -353,6 +401,9 @@ void Scmp::mrouter_handle_leave(GroupId group, graph::NodeId requester) {
   OBS_SPAN("scmp.leave");
   static obs::Counter& leaves = obs::counter("scmp.leaves");
   leaves.inc();
+  obs::flight_record(obs::FlightEventKind::kHandle, net().now(),
+                     obs::current_cause(), "LEAVE", group, requester,
+                     mrouter_of(group));
   db_.record_leave(group, requester, net().now());
   tree_for(group).leave(requester);
   // The physical prune travels hop-by-hop from the leaving DR (§III-C); the
@@ -434,6 +485,7 @@ void Scmp::install_full_tree(GroupId group,
 void Scmp::end_group_session(GroupId group) {
   const auto it = trees_.find(group);
   if (it == trees_.end()) return;
+  if (convergence() != nullptr) convergence()->note_event(group);
   const graph::NodeId root = mrouter_of(group);
   const std::uint64_t version = next_install_version(group);
   for (graph::NodeId v : ever_installed_[group]) {
@@ -448,6 +500,7 @@ void Scmp::end_group_session(GroupId group) {
 void Scmp::refresh_group(GroupId group) {
   const auto it = trees_.find(group);
   if (it == trees_.end()) return;
+  if (convergence() != nullptr) convergence()->note_event(group);
   const graph::NodeId root = mrouter_of(group);
   const std::uint64_t version = next_install_version(group);
   // Anti-entropy: routers that held install state since the last refresh but
@@ -574,11 +627,16 @@ int Scmp::repair_installed_state() {
 
     // One install operation per group per pass versions every repair.
     const std::uint64_t version = next_install_version(g);
+    const double now = net().now();
     for (graph::NodeId v : orphaned) {
+      obs::flight_record(obs::FlightEventKind::kRepair, now, 0, "clear", g,
+                         root, v);
       send_clear(g, v, {}, version);
       ++repairs;
     }
     for (auto& [v, extras] : extra_children) {
+      obs::flight_record(obs::FlightEventKind::kRepair, now, 0, "detach", g,
+                         root, v);
       send_clear(g, v, std::move(extras), version);
       ++repairs;
     }
@@ -596,6 +654,8 @@ int Scmp::repair_installed_state() {
               return divergent.contains(v);
             });
         if (!crosses) continue;
+        obs::flight_record(obs::FlightEventKind::kRepair, now, 0, "branch", g,
+                           root, m);
         install_branch(g, m, version);
         ++repairs;
       }
@@ -609,7 +669,19 @@ int Scmp::reconcile_all() {
   OBS_SPAN("scmp.reconcile");
   const int resolicited = resolicit_membership();
   const int repaired = repair_installed_state();
+  // A clean pass (nothing to repair) is the moment a group whose install
+  // packets were all lost finally proves consistent: resolve pending
+  // convergence measurements that no packet arrival will ever check.
+  if (convergence() != nullptr) {
+    for (GroupId g : convergence()->pending_groups()) check_convergence(g);
+  }
   return resolicited + repaired;
+}
+
+void Scmp::check_convergence(GroupId group) {
+  proto::ConvergenceTracker* c = convergence();
+  if (c == nullptr || !c->is_pending(group)) return;
+  c->check(group, network_state_consistent(group));
 }
 
 void Scmp::start_reconciliation(double interval, double horizon) {
@@ -628,6 +700,9 @@ void Scmp::start_reconciliation(double interval, double horizon) {
 void Scmp::rebuild_trees(const std::vector<GroupId>& groups,
                          const TreeComputePool* pool) {
   OBS_SPAN("scmp.rebuild");
+  if (convergence() != nullptr) {
+    for (GroupId group : groups) convergence()->note_event(group);
+  }
   // Rebuild the given groups' trees from the membership database — on the
   // compute pool's worker threads when one is provided (per-group rebuilds
   // are independent, §II-B), serially otherwise. Join order is the
@@ -769,6 +844,8 @@ void Scmp::ir_handle_tree(graph::NodeId at, const sim::Packet& pkt,
     send_control_link(at, child.id, std::move(sub));
   }
   entries_[static_cast<std::size_t>(at)][pkt.group] = std::move(fresh);
+  obs::flight_record(obs::FlightEventKind::kInstalled, net().now(), pkt.req,
+                     "TREE", pkt.group, from, at);
 }
 
 void Scmp::ir_handle_branch(graph::NodeId at, const sim::Packet& pkt,
@@ -794,6 +871,8 @@ void Scmp::ir_handle_branch(graph::NodeId at, const sim::Packet& pkt,
   e->upstream = from;
   if (pos + 1 != path.end()) {
     e->downstream_routers.insert(*(pos + 1));
+    obs::flight_record(obs::FlightEventKind::kInstalled, net().now(), pkt.req,
+                       "BRANCH", pkt.group, from, at);
     // Forwarded under a fresh request uid: each hop retransmits toward its
     // own next hop, so reliability is hop-by-hop like the delivery itself.
     send_control_link(at, *(pos + 1), pkt);
@@ -806,7 +885,10 @@ void Scmp::ir_handle_branch(graph::NodeId at, const sim::Packet& pkt,
   if (e->downstream_ifaces.empty() && e->downstream_routers.empty()) {
     // The hosts already left while the BRANCH was in flight: undo.
     send_prune_and_leave(at, pkt.group);
+    return;
   }
+  obs::flight_record(obs::FlightEventKind::kInstalled, net().now(), pkt.req,
+                     "BRANCH", pkt.group, from, at);
 }
 
 void Scmp::ir_handle_prune(graph::NodeId at, const sim::Packet& pkt,
@@ -945,9 +1027,17 @@ void Scmp::handle_packet(graph::NodeId at, const sim::Packet& pkt,
     if (!seen_req_[idx].insert(pkt.req).second) {
       static obs::Counter& dups = obs::counter("scmp.retx.duplicates");
       dups.inc();
+      obs::flight_record(obs::FlightEventKind::kDuplicate, net().now(),
+                         pkt.req, control_name(pkt.type), pkt.group, from, at);
       return;
     }
+    obs::flight_record(obs::FlightEventKind::kRecv, net().now(), pkt.req,
+                       control_name(pkt.type), pkt.group, from, at);
   }
+  // Causal scope: flight records appended while this packet is dispatched —
+  // including records for new requests sent when forwarding — carry its
+  // request id as their cause, chaining hops into one story.
+  obs::FlightCause flight_scope(pkt.req);
   switch (pkt.type) {
     case sim::PacketType::kJoin:
       SCMP_ASSERT(at == mrouter_of(pkt.group));
@@ -986,6 +1076,10 @@ void Scmp::handle_packet(graph::NodeId at, const sim::Packet& pkt,
       drop_unexpected(at, pkt);
       break;
   }
+  // Every control packet either mutates installed state (TREE/BRANCH/PRUNE/
+  // CLEAR) or the authoritative tree (JOIN/LEAVE); either side of the
+  // convergence predicate may have flipped.
+  if (is_scmp_control(pkt.type)) check_convergence(pkt.group);
 }
 
 bool Scmp::network_state_consistent(GroupId group) const {

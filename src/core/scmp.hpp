@@ -191,6 +191,14 @@ class Scmp final : public proto::MulticastProtocol {
   bool network_state_consistent(GroupId group) const;
 
  private:
+  /// SCMP has an authoritative tree to compare against, so convergence is
+  /// measured by predicate (installed state == m-router tree), not by
+  /// control-plane quiescence like the rival protocols.
+  bool convergence_by_quiescence() const override { return false; }
+  /// Resolves a pending convergence measurement for `group` if the installed
+  /// network state now matches the authoritative tree.
+  void check_convergence(GroupId group);
+
   Entry* mutable_entry_at(graph::NodeId router, GroupId group);
   DcdmTree& tree_for(GroupId group);
 

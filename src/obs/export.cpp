@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdio>
 #include <ostream>
+#include <set>
 #include <string>
 
 #include "util/contracts.hpp"
@@ -111,10 +112,19 @@ void write_chrome_trace(std::ostream& out,
                         const std::vector<SpanRecord>& spans) {
   SCMP_EXPECTS(out.good());
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  bool first = true;
+  // Metadata events first, so Perfetto labels the process and each thread
+  // track instead of showing bare pid/tid numbers.
+  out << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+      << "\"args\":{\"name\":\"scmp\"}}";
+  std::set<std::uint32_t> tids;
+  for (const SpanRecord& r : spans) tids.insert(r.tid);
+  for (std::uint32_t tid : tids) {
+    out << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+        << tid << ",\"args\":{\"name\":\""
+        << (tid == 0 ? "main" : "worker-" + std::to_string(tid)) << "\"}}";
+  }
   for (const SpanRecord& r : spans) {
-    if (!first) out << ",";
-    first = false;
+    out << ",";
     char ts[32], dur[32];
     std::snprintf(ts, sizeof(ts), "%.3f",
                   static_cast<double>(r.start_ns) / 1e3);

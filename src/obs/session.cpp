@@ -1,12 +1,16 @@
 #include "obs/session.hpp"
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "util/contracts.hpp"
 
 namespace scmp::obs {
@@ -34,7 +38,7 @@ int match_flag(int argc, char** argv, int i, const char* flag,
 }
 
 bool write_file(const std::string& path,
-                void (*writer)(std::ostream&)) {
+                const std::function<void(std::ostream&)>& writer) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "obs: cannot write " << path << "\n";
@@ -50,6 +54,9 @@ ObsSession::ObsSession(int& argc, char** argv) {
   SCMP_EXPECTS(argv != nullptr);
   std::string metrics = "metrics.prom";
   std::string trace = "trace";
+  std::string timeseries_file = "timeseries.jsonl";
+  std::string ts_interval;
+  std::string flight = "flight";
   int out = 0;
   for (int i = 0; i < argc;) {
     int used = match_flag(argc, argv, i, "--metrics", metrics);
@@ -64,12 +71,38 @@ ObsSession::ObsSession(int& argc, char** argv) {
       i += used;
       continue;
     }
+    used = match_flag(argc, argv, i, "--timeseries-interval", ts_interval);
+    if (used > 0) {
+      i += used;
+      continue;
+    }
+    used = match_flag(argc, argv, i, "--timeseries", timeseries_file);
+    if (used > 0) {
+      timeseries_path_ = timeseries_file;
+      i += used;
+      continue;
+    }
+    used = match_flag(argc, argv, i, "--flight", flight);
+    if (used > 0) {
+      flight_base_ = flight;
+      i += used;
+      continue;
+    }
     argv[out++] = argv[i++];
   }
   argc = out;
   argv[argc] = nullptr;
   if (metrics_requested()) set_metrics_enabled(true);
   if (trace_requested()) set_tracing_enabled(true);
+  if (timeseries_requested()) {
+    set_metrics_enabled(true);  // the sampler reads the registry
+    if (!ts_interval.empty()) {
+      const double seconds = std::strtod(ts_interval.c_str(), nullptr);
+      if (seconds > 0.0) obs::timeseries().set_interval(seconds);
+    }
+    obs::timeseries().set_enabled(true);
+  }
+  if (flight_requested()) set_flight_enabled(true);
 }
 
 ObsSession::~ObsSession() {
@@ -81,14 +114,24 @@ bool ObsSession::write_now() {
   bool ok = true;
   if (metrics_requested()) {
     ok &= write_file(metrics_path_,
-                     static_cast<void (*)(std::ostream&)>(&write_prometheus));
+                     [](std::ostream& out) { write_prometheus(out); });
   }
   if (trace_requested()) {
     ok &= write_file(trace_base_ + ".jsonl",
-                     static_cast<void (*)(std::ostream&)>(&write_spans_jsonl));
-    ok &= write_file(
-        trace_base_ + ".chrome.json",
-        static_cast<void (*)(std::ostream&)>(&write_chrome_trace));
+                     [](std::ostream& out) { write_spans_jsonl(out); });
+    ok &= write_file(trace_base_ + ".chrome.json",
+                     [](std::ostream& out) { write_chrome_trace(out); });
+  }
+  if (timeseries_requested()) {
+    ok &= write_file(timeseries_path_, [](std::ostream& out) {
+      obs::timeseries().write_jsonl(out);
+    });
+  }
+  if (flight_requested()) {
+    ok &= write_file(flight_base_ + ".jsonl",
+                     [](std::ostream& out) { write_flight_jsonl(out); });
+    ok &= write_file(flight_base_ + ".chrome.json",
+                     [](std::ostream& out) { write_flight_chrome(out); });
   }
   return ok;
 }

@@ -18,6 +18,16 @@ namespace scmp::obs {
 ///                                       (span dump) and BASE.chrome.json
 ///                                       (Chrome trace_event) are written on
 ///                                       destruction (default base "trace").
+///   --timeseries[=PATH]                 enable metrics plus the sim-time
+///                                       sampler; the scmp-timeseries-v1
+///                                       stream is written to PATH (default
+///                                       "timeseries.jsonl").
+///   --timeseries-interval=SECONDS       window length for --timeseries
+///                                       (simulated seconds, default 1.0).
+///   --flight[=BASE]                     enable the causal flight recorder;
+///                                       BASE.jsonl (records) and
+///                                       BASE.chrome.json (flow events) are
+///                                       written (default base "flight").
 class ObsSession {
  public:
   ObsSession(int& argc, char** argv);
@@ -32,12 +42,18 @@ class ObsSession {
 
   bool metrics_requested() const { return !metrics_path_.empty(); }
   bool trace_requested() const { return !trace_base_.empty(); }
+  bool timeseries_requested() const { return !timeseries_path_.empty(); }
+  bool flight_requested() const { return !flight_base_.empty(); }
   const std::string& metrics_path() const { return metrics_path_; }
   const std::string& trace_base() const { return trace_base_; }
+  const std::string& timeseries_path() const { return timeseries_path_; }
+  const std::string& flight_base() const { return flight_base_; }
 
  private:
   std::string metrics_path_;
   std::string trace_base_;
+  std::string timeseries_path_;
+  std::string flight_base_;
   bool written_ = false;
 };
 

@@ -20,6 +20,9 @@ void SpanSink::record(const SpanRecord& r) {
     ring_.push_back(r);
   } else {
     ring_[next_] = r;
+    ++dropped_;
+    static Counter& drops = obs::counter("obs.spans.dropped");
+    drops.inc();
   }
   next_ = (next_ + 1) % capacity_;
   ++total_;
@@ -46,6 +49,11 @@ std::uint64_t SpanSink::total_recorded() const {
   return total_;
 }
 
+std::uint64_t SpanSink::dropped() const {
+  const util::LockGuard lock(mu_);
+  return dropped_;
+}
+
 void SpanSink::set_capacity(std::size_t capacity) {
   SCMP_EXPECTS(capacity > 0);
   const util::LockGuard lock(mu_);
@@ -59,6 +67,7 @@ void SpanSink::clear() {
   ring_.clear();
   next_ = 0;
   total_ = 0;
+  dropped_ = 0;
 }
 
 SpanSink& span_sink() {

@@ -60,6 +60,10 @@ class SpanSink {
   /// Records ever recorded (>= snapshot().size() once wrapped).
   std::uint64_t total_recorded() const EXCLUDES(mu_);
 
+  /// Records overwritten because the ring was full (also surfaced as the
+  /// obs.spans.dropped counter), so truncated traces are detectable.
+  std::uint64_t dropped() const EXCLUDES(mu_);
+
   /// Resizes the ring; drops currently retained records.
   void set_capacity(std::size_t capacity) EXCLUDES(mu_);
   void clear() EXCLUDES(mu_);
@@ -70,6 +74,7 @@ class SpanSink {
   std::size_t capacity_ GUARDED_BY(mu_);
   std::size_t next_ GUARDED_BY(mu_) = 0;  ///< next write slot
   std::uint64_t total_ GUARDED_BY(mu_) = 0;
+  std::uint64_t dropped_ GUARDED_BY(mu_) = 0;
 };
 
 /// The process-wide sink every Span records into.

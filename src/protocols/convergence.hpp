@@ -1,0 +1,100 @@
+// Per-group time-to-convergence measurement, comparable across protocols.
+//
+// A membership or link event opens a measurement (`note_event`); the
+// tracker stamps the sim-time until the group's distributed state settles,
+// feeds it into `scmp.convergence.seconds` (histogram, tagged with the
+// protocol name) and a per-group RunningStats, and abandons measurements
+// that outlive the deadline (`scmp.convergence.timeouts`).
+//
+// Two resolution modes:
+//   * Predicate (SCMP): the owner calls `check(group, consistent)` whenever
+//     installed state may have changed; the measurement resolves the first
+//     time the predicate holds (installed digests match the authoritative
+//     tree, Scmp::network_state_consistent).
+//   * Quiescence (DVMRP/MOSPF/CBT/PIM-SM, which have no authoritative tree
+//     to compare against): the owner calls `note_state_change(group)` on
+//     every forwarding-state mutation; the measurement resolves once no
+//     mutation has happened for `quiet_period` simulated seconds, stamped
+//     at the *last* mutation so the quiet wait does not inflate samples.
+//
+// All timers run on the simulation event queue — no wall clock — and the
+// tracker sends no packets, so enabling it never perturbs a fixed-seed
+// packet trace.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "igmp/igmp.hpp"
+#include "sim/event_queue.hpp"
+#include "util/stats.hpp"
+
+namespace scmp::proto {
+
+class ConvergenceTracker {
+ public:
+  struct Config {
+    bool quiescence = true;    ///< resolve by quiet period (vs. predicate)
+    double quiet_period = 1.0;  ///< quiescence mode: settle window, sim-s
+    double timeout = 60.0;      ///< abandon a measurement after this long
+  };
+
+  /// The queue must outlive the tracker (both owned by the same harness).
+  ConvergenceTracker(sim::EventQueue& queue, std::string protocol,
+                     Config cfg);
+
+  /// A membership/link event touched `group`: open (or re-arm) its
+  /// measurement at the current sim time.
+  void note_event(igmp::GroupId group);
+
+  /// Quiescence mode: `group`'s forwarding state mutated.
+  void note_state_change(igmp::GroupId group);
+
+  /// Predicate mode: resolves `group`'s measurement if one is open and
+  /// `consistent` holds.
+  void check(igmp::GroupId group, bool consistent);
+
+  bool is_pending(igmp::GroupId group) const {
+    return pending_.contains(group);
+  }
+  std::size_t pending() const { return pending_.size(); }
+  std::vector<igmp::GroupId> pending_groups() const;
+
+  struct Stats {
+    std::uint64_t events = 0;
+    std::uint64_t converged = 0;
+    std::uint64_t timeouts = 0;
+    std::map<igmp::GroupId, Summary> per_group;  ///< seconds-to-converge
+  };
+  Stats stats() const;
+
+  const Config& config() const { return cfg_; }
+  const std::string& protocol() const { return protocol_; }
+
+ private:
+  struct Pending {
+    double start = 0.0;        ///< sim time of the opening event
+    double last_change = 0.0;  ///< sim time of the last state mutation
+    std::uint64_t epoch = 0;   ///< invalidates stale timers
+  };
+
+  void resolve(igmp::GroupId group, double converged_at);
+  void arm_quiet_timer(igmp::GroupId group);
+  void on_quiet(igmp::GroupId group, std::uint64_t epoch);
+  void on_deadline(igmp::GroupId group, std::uint64_t epoch);
+  void update_pending_gauge();
+
+  sim::EventQueue* queue_;
+  std::string protocol_;
+  Config cfg_;
+  std::map<igmp::GroupId, Pending> pending_;
+  std::map<igmp::GroupId, RunningStats> per_group_;
+  std::uint64_t next_epoch_ = 0;
+  std::uint64_t events_ = 0;
+  std::uint64_t converged_ = 0;
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace scmp::proto

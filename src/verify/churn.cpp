@@ -31,6 +31,7 @@
 
 #include "core/scmp.hpp"
 #include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "igmp/igmp.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
@@ -80,6 +81,7 @@ struct World {
     const double loss = cfg.control_loss_rate;
     if (loss > 0.0) scfg.reliability.enabled = true;
     scmp = std::make_unique<core::Scmp>(*net, *igmp, scfg);
+    if (cfg.track_convergence) scmp->enable_convergence_tracking();
     if (cfg.fault.has_value() || loss > 0.0) {
       const std::optional<FaultSpec> fault = cfg.fault;
       if (fault.has_value()) SCMP_EXPECTS(fault->every_nth >= 1);
@@ -244,17 +246,30 @@ CheckOutcome ChurnModelChecker::replay(
     return false;
   };
 
+  // Snapshot convergence stats before the world (and its tracker) dies; a
+  // final timeseries sample flushes every window boundary the run crossed.
+  auto finalize = [&] {
+    obs::timeseries().maybe_sample(w.queue.now());
+    if (const proto::ConvergenceTracker* t = w.scmp->convergence_tracker())
+      outcome.convergence = t->stats();
+  };
+
   for (std::size_t i = 0; i < events.size(); ++i) {
     if (apply(w, events[i])) ++outcome.executed;
     w.queue.run_all();  // drain to quiescence: audits are only valid here
+    obs::timeseries().maybe_sample(w.queue.now());
     const bool stride_hit =
         (i + 1) % static_cast<std::size_t>(cfg_.audit_stride) == 0;
     if (stride_hit || i + 1 == events.size()) {
       reconcile_to_fixpoint();
-      if (!audit_at(static_cast<int>(i))) return outcome;
+      if (!audit_at(static_cast<int>(i))) {
+        finalize();
+        return outcome;
+      }
     }
   }
   if (events.empty()) audit_at(-1);
+  finalize();
   return outcome;
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "protocols/convergence.hpp"
 #include "sim/packet.hpp"
 #include "verify/auditor.hpp"
 
@@ -67,6 +68,11 @@ struct ChurnConfig {
   /// exercising *recovery* instead of only proving invariants catch mutants.
   double control_loss_rate = 0.0;
   std::uint64_t loss_seed = 1;
+  /// Runtime-only knob (never serialized into trace artifacts): enable the
+  /// per-group convergence tracker on each replay world and copy its stats
+  /// into CheckOutcome::convergence. Tracking schedules only event-queue
+  /// timers — the packet trace of a fixed-seed replay is unchanged.
+  bool track_convergence = false;
 };
 
 struct CheckOutcome {
@@ -76,6 +82,9 @@ struct CheckOutcome {
   std::vector<Violation> violations;
   int audits = 0;             ///< invariant audits performed during replay
   double audit_seconds = 0.0; ///< wall-clock time spent in those audits
+  /// Convergence stats snapshotted from the tracker before the world is torn
+  /// down (engaged only when ChurnConfig::track_convergence is set).
+  std::optional<proto::ConvergenceTracker::Stats> convergence;
 };
 
 class ChurnModelChecker {

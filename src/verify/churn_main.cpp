@@ -6,15 +6,24 @@
 //                    [--degree=D] [--groups=N] [--events=N] [--seeds=a,b,c]
 //                    [--audit-stride=N] [--max-link-failures=N]
 //                    [--fault=<packet-type>[:nth]] [--loss=RATE[:SEED]]
-//                    [--dump-dir=DIR] [--replay=TRACE] [--no-shrink]
-//                    [--verbose] [--metrics[=FILE]] [--trace[=BASE]]
+//                    [--convergence] [--dump-dir=DIR] [--replay=TRACE]
+//                    [--no-shrink] [--verbose] [--metrics[=FILE]]
+//                    [--trace[=BASE]] [--timeseries[=FILE]]
+//                    [--timeseries-interval=S] [--flight[=BASE]]
 //
 // --loss drops every SCMP control packet (ACKs included) independently with
 // probability RATE, enabling the protocol's reliable-delivery layer and the
 // reconcile-before-audit loop — the ISSUE's lossy acceptance mode.
 //
-// --metrics / --trace (obs::ObsSession) export the run's metrics and
-// per-audit spans; each run also reports its invariant-audit wall time.
+// --convergence enables per-group time-to-convergence tracking (implied by
+// --loss); each seed then reports events/converged/timeouts and per-group
+// p50/p95/p99 seconds-to-converge.
+//
+// --metrics / --trace / --timeseries / --flight (obs::ObsSession) export the
+// run's metrics, per-audit spans, the deterministic metric time-series and
+// the causal flight-recorder artifacts; each run also reports its
+// invariant-audit wall time, and with --flight enabled a per-seed summary of
+// reconstructed JOIN -> installed causal chains.
 //
 // Default mode: for every event seed, generate + replay the churn sequence.
 // On a violation, shrink it to a minimal trace, dump the replayable artifact
@@ -22,11 +31,14 @@
 // instead (exit 1 when it still reproduces its violation — the expected
 // outcome when triaging).
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/session.hpp"
+#include "obs/timeseries.hpp"
 #include "util/contracts.hpp"
 #include "verify/churn.hpp"
 
@@ -124,6 +136,8 @@ Options parse_args(int argc, char** argv) {
         std::fprintf(stderr, "--loss rate must be in [0, 1)\n");
         opt.parse_ok = false;
       }
+    } else if (arg == "--convergence") {
+      opt.cfg.track_convergence = true;
     } else if (consume(arg, "--dump-dir", v)) {
       opt.dump_dir = v;
     } else if (consume(arg, "--replay", v)) {
@@ -141,6 +155,9 @@ Options parse_args(int argc, char** argv) {
     std::fprintf(stderr, "--seeds must name at least one seed\n");
     opt.parse_ok = false;
   }
+  // Lossy runs are exactly the runs whose convergence latency is
+  // interesting: tracking rides along automatically.
+  if (opt.cfg.control_loss_rate > 0.0) opt.cfg.track_convergence = true;
   return opt;
 }
 
@@ -162,17 +179,64 @@ void print_outcome(const char* what, const CheckOutcome& outcome) {
                 violation.detail.c_str());
 }
 
+void print_convergence(const CheckOutcome& outcome) {
+  if (!outcome.convergence.has_value()) return;
+  const auto& c = *outcome.convergence;
+  std::printf("  convergence: %llu event(s), %llu converged, %llu timeout(s)\n",
+              static_cast<unsigned long long>(c.events),
+              static_cast<unsigned long long>(c.converged),
+              static_cast<unsigned long long>(c.timeouts));
+  for (const auto& [group, s] : c.per_group) {
+    std::printf("    g%d: n=%zu p50=%.3fs p95=%.3fs p99=%.3fs\n", group,
+                s.count, s.p50, s.p95, s.p99);
+  }
+}
+
+/// Reconstructs causal JOIN stories from the flight recorder's retained
+/// records: a story is complete once its chain reaches at least one
+/// installed-state record (the acceptance criterion for the lossy runs).
+void print_flight_summary() {
+  if (!scmp::obs::flight_enabled()) return;
+  const std::vector<scmp::obs::FlightRecord> records =
+      scmp::obs::flight().snapshot();
+  int stories = 0;
+  int complete = 0;
+  for (const auto& r : records) {
+    if (r.kind != scmp::obs::FlightEventKind::kHandle || r.req == 0 ||
+        std::strcmp(r.what, "JOIN") != 0)
+      continue;
+    ++stories;
+    for (const auto& s : scmp::obs::story_of(records, r.req)) {
+      if (s.kind == scmp::obs::FlightEventKind::kInstalled) {
+        ++complete;
+        break;
+      }
+    }
+  }
+  std::printf(
+      "  flight: %zu record(s), %d JOIN story(ies), %d complete "
+      "JOIN->installed chain(s)\n",
+      records.size(), stories, complete);
+}
+
 int replay_mode(const Options& opt) {
   const TraceArtifact trace = scmp::verify::read_trace(opt.replay_path);
   const ChurnModelChecker checker(trace.config);
   const CheckOutcome outcome = checker.replay(trace.events);
   print_outcome(opt.replay_path.c_str(), outcome);
+  print_convergence(outcome);
   return outcome.ok ? 0 : 1;
 }
 
 int check_mode(const Options& opt) {
   int failures = 0;
   for (std::uint64_t seed : opt.seeds) {
+    // Fresh observability partitions per seed: the time-series opens a new
+    // run (its window clock rebases to zero) and the flight ring is cleared,
+    // so per-seed stories never mix. Exported flight artifacts therefore
+    // hold the final seed's records.
+    scmp::obs::timeseries().begin_run();
+    scmp::obs::flight().clear();
     ChurnConfig cfg = opt.cfg;
     cfg.event_seed = seed;
     const ChurnModelChecker checker(cfg);
@@ -180,6 +244,8 @@ int check_mode(const Options& opt) {
     const CheckOutcome outcome = checker.replay(events);
     const std::string label = "seed " + std::to_string(seed);
     print_outcome(label.c_str(), outcome);
+    print_convergence(outcome);
+    print_flight_summary();
     if (outcome.ok) continue;
     ++failures;
 

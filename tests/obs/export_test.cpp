@@ -96,15 +96,37 @@ TEST(ExportChromeTrace, CompleteEventsMicroseconds) {
   write_chrome_trace(out, spans);
   EXPECT_EQ(out.str(),
             "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+            "\"args\":{\"name\":\"scmp\"}},\n"
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":3,"
+            "\"args\":{\"name\":\"worker-3\"}},\n"
             "{\"name\":\"fabric.configure\",\"cat\":\"scmp\",\"ph\":\"X\","
             "\"ts\":1.500,\"dur\":250.000,\"pid\":1,\"tid\":3}\n"
             "]}\n");
 }
 
+TEST(ExportChromeTrace, MainThreadTrackIsNamedMain) {
+  std::vector<SpanRecord> spans(1);
+  spans[0].name = "verify.audit";
+  spans[0].start_ns = 0;
+  spans[0].dur_ns = 1000;
+  spans[0].tid = 0;
+  spans[0].depth = 1;
+  std::ostringstream out;
+  write_chrome_trace(out, spans);
+  EXPECT_NE(out.str().find("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                           "\"tid\":0,\"args\":{\"name\":\"main\"}}"),
+            std::string::npos);
+}
+
 TEST(ExportChromeTrace, EmptyIsStillValidJson) {
   std::ostringstream out;
   write_chrome_trace(out, {});
-  EXPECT_EQ(out.str(), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n");
+  EXPECT_EQ(out.str(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+            "\"args\":{\"name\":\"scmp\"}}\n"
+            "]}\n");
 }
 
 }  // namespace

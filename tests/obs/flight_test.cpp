@@ -1,0 +1,191 @@
+// Unit tests for the causal flight recorder: ring bounds with drop
+// accounting, the causal-scope plumbing, story reconstruction, and golden
+// JSONL / Chrome-trace serializations.
+#include "obs/flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace scmp::obs {
+namespace {
+
+FlightRecord make(FlightEventKind kind, double t, std::uint64_t req,
+                  std::uint64_t cause, const char* what = "",
+                  std::int32_t group = -1, std::int32_t from = -1,
+                  std::int32_t to = -1) {
+  FlightRecord r;
+  r.t = t;
+  r.req = req;
+  r.cause = cause;
+  r.what = what;
+  r.kind = kind;
+  r.group = group;
+  r.from = from;
+  r.to = to;
+  return r;
+}
+
+/// Tests touching the process-wide recorder start cleared-and-enabled and
+/// restore the disabled default.
+class FlightTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    flight().clear();
+    set_flight_enabled(true);
+  }
+  void TearDown() override {
+    set_flight_enabled(false);
+    flight().clear();
+  }
+};
+
+TEST(FlightRecorder, RingKeepsNewestAndCountsDropped) {
+  FlightRecorder ring(4);
+  for (int i = 1; i <= 6; ++i)
+    ring.record(make(FlightEventKind::kSend, i, static_cast<std::uint64_t>(i),
+                     0, "JOIN"));
+  EXPECT_EQ(ring.total_recorded(), 6u);
+  EXPECT_EQ(ring.dropped(), 2u);
+  const std::vector<FlightRecord> kept = ring.snapshot();
+  ASSERT_EQ(kept.size(), 4u);
+  // Oldest first, and the two oldest records were overwritten.
+  for (std::size_t i = 0; i < kept.size(); ++i)
+    EXPECT_EQ(kept[i].req, i + 3);
+}
+
+TEST(FlightRecorder, ClearResetsCounters) {
+  FlightRecorder ring(2);
+  ring.record(make(FlightEventKind::kSend, 1, 1, 0));
+  ring.record(make(FlightEventKind::kSend, 2, 2, 0));
+  ring.record(make(FlightEventKind::kSend, 3, 3, 0));
+  EXPECT_EQ(ring.dropped(), 1u);
+  ring.clear();
+  EXPECT_EQ(ring.total_recorded(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST_F(FlightTest, DisabledRecorderIsNoOp) {
+  set_flight_enabled(false);
+  flight_record(FlightEventKind::kSend, 1.0, 7, "JOIN", 1, 2, 3);
+  EXPECT_TRUE(flight().snapshot().empty());
+  EXPECT_EQ(flight().total_recorded(), 0u);
+}
+
+TEST_F(FlightTest, CauseScopeTagsRecords) {
+  flight_record(FlightEventKind::kSend, 0.0, 1, "JOIN", 1, 5, -1);
+  {
+    FlightCause scope(1);
+    EXPECT_EQ(current_cause(), 1u);
+    flight_record(FlightEventKind::kSend, 0.1, 2, "BRANCH", 1, 0, 1);
+    {
+      // A zero req keeps the enclosing cause: nesting a fire-and-forget hop
+      // inside a reliable one must not sever the chain.
+      FlightCause inner(0);
+      EXPECT_EQ(current_cause(), 1u);
+    }
+    {
+      FlightCause inner(2);
+      EXPECT_EQ(current_cause(), 2u);
+    }
+    EXPECT_EQ(current_cause(), 1u);
+  }
+  EXPECT_EQ(current_cause(), 0u);
+  const std::vector<FlightRecord> records = flight().snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].cause, 0u);
+  EXPECT_EQ(records[1].cause, 1u);
+}
+
+TEST_F(FlightTest, OverflowFeedsDroppedCounter) {
+  set_metrics_enabled(true);
+  reset_values();
+  flight().set_capacity(2);
+  for (int i = 1; i <= 5; ++i)
+    flight_record(FlightEventKind::kSend, i, static_cast<std::uint64_t>(i),
+                  "JOIN", 1, 0, 1);
+  EXPECT_EQ(flight().dropped(), 3u);
+  EXPECT_EQ(counter("obs.flight.dropped").value(), 3u);
+  set_metrics_enabled(false);
+  flight().set_capacity(FlightRecorder::kDefaultCapacity);
+}
+
+TEST(FlightStory, WalksTransitiveCauseChain) {
+  const std::vector<FlightRecord> records = {
+      make(FlightEventKind::kSend, 0.0, 1, 0, "JOIN"),
+      make(FlightEventKind::kHandle, 0.1, 1, 1, "JOIN"),
+      make(FlightEventKind::kSend, 0.1, 2, 1, "BRANCH"),
+      make(FlightEventKind::kSend, 0.2, 9, 0, "JOIN"),  // unrelated root
+      make(FlightEventKind::kInstalled, 0.3, 3, 2, "BRANCH"),
+      make(FlightEventKind::kAck, 0.4, 0, 2, ""),  // fire-and-forget member
+      make(FlightEventKind::kAck, 0.5, 0, 9, ""),  // ...of the other chain
+  };
+  const std::vector<FlightRecord> story = story_of(records, 1);
+  ASSERT_EQ(story.size(), 5u);
+  EXPECT_EQ(story[0].req, 1u);
+  EXPECT_EQ(story[2].req, 2u);
+  EXPECT_EQ(story[3].req, 3u);
+  EXPECT_EQ(story[4].req, 0u);  // the ack caused by req 2
+  EXPECT_TRUE(story_of(records, 0).empty());
+}
+
+TEST(FlightStory, FixpointHandlesOutOfOrderCauseDiscovery) {
+  // Request 5's record appears before request 4's, yet 5 is caused by 4
+  // which is caused by the root — one forward pass would miss 5.
+  const std::vector<FlightRecord> records = {
+      make(FlightEventKind::kSend, 0.0, 1, 0, "JOIN"),
+      make(FlightEventKind::kSend, 0.1, 5, 4, "BRANCH"),
+      make(FlightEventKind::kSend, 0.2, 4, 1, "BRANCH"),
+  };
+  const std::vector<FlightRecord> story = story_of(records, 1);
+  ASSERT_EQ(story.size(), 3u);
+  EXPECT_EQ(story[1].req, 5u);
+  EXPECT_EQ(story[2].req, 4u);
+}
+
+TEST(FlightExport, JsonlGolden) {
+  const std::vector<FlightRecord> records = {
+      make(FlightEventKind::kSend, 0.5, 1, 0, "JOIN", 1, 27, -1),
+      make(FlightEventKind::kInstalled, 0.75, 2, 1, "BRANCH", 1, 0, 1),
+  };
+  std::ostringstream out;
+  write_flight_jsonl(out, records);
+  EXPECT_EQ(out.str(),
+            "{\"t\":0.5,\"kind\":\"send\",\"req\":1,\"cause\":0,"
+            "\"what\":\"JOIN\",\"group\":1,\"from\":27,\"to\":-1}\n"
+            "{\"t\":0.75,\"kind\":\"installed\",\"req\":2,\"cause\":1,"
+            "\"what\":\"BRANCH\",\"group\":1,\"from\":0,\"to\":1}\n");
+}
+
+TEST(FlightExport, ChromeTraceHasMetadataSlicesAndFlow) {
+  const std::vector<FlightRecord> records = {
+      make(FlightEventKind::kSend, 0.001, 1, 0, "JOIN", 1, 27, -1),
+      make(FlightEventKind::kInstalled, 0.002, 2, 1, "BRANCH", 1, 0, 1),
+  };
+  std::ostringstream out;
+  write_flight_chrome(out, records);
+  const std::string trace = out.str();
+  EXPECT_NE(trace.find("\"args\":{\"name\":\"scmp flight\"}"),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"args\":{\"name\":\"control-plane\"}"),
+            std::string::npos);
+  EXPECT_NE(trace.find("{\"name\":\"send\",\"cat\":\"scmp\",\"ph\":\"X\","
+                       "\"ts\":1000.000"),
+            std::string::npos);
+  // The two records form one causal chain rooted at req 1: a flow start at
+  // the JOIN and a flow finish at the install, both bound to id 1.
+  EXPECT_NE(trace.find("\"ph\":\"s\",\"ts\":1000.000,\"pid\":1,\"tid\":0,"
+                       "\"id\":1"),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"f\",\"ts\":2000.000,\"pid\":1,\"tid\":0,"
+                       "\"id\":1,\"bp\":\"e\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace scmp::obs

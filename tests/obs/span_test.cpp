@@ -100,6 +100,24 @@ TEST_F(SpanTest, MetricsOnlyModeFeedsHistogramNotSink) {
   set_metrics_enabled(false);
 }
 
+TEST_F(SpanTest, WrapCountsDroppedAndFeedsCounter) {
+  set_metrics_enabled(true);
+  reset_values();
+  span_sink().set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    OBS_SPAN("test.span.dropped");
+  }
+  // 10 recorded into 4 slots: 6 overwritten, surfaced both through the
+  // sink accessor and the obs.spans.dropped counter.
+  EXPECT_EQ(span_sink().total_recorded(), 10u);
+  EXPECT_EQ(span_sink().dropped(), 6u);
+  EXPECT_EQ(counter("obs.spans.dropped").value(), 6u);
+  span_sink().clear();
+  EXPECT_EQ(span_sink().dropped(), 0u);
+  span_sink().set_capacity(SpanSink::kDefaultCapacity);
+  set_metrics_enabled(false);
+}
+
 TEST_F(SpanTest, ThreadsGetDistinctSmallTids) {
   { OBS_SPAN("test.span.main_thread"); }
   std::thread t([] { OBS_SPAN("test.span.worker"); });

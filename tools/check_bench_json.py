@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Validates BENCH_*.json files against the scmp-bench-v1 schema.
+"""Validates bench JSON (scmp-bench-v1) and time-series JSONL
+(scmp-timeseries-v1) artifacts.
 
-Every bench binary (bench/) writes one such file per run when invoked with
+Every bench binary (bench/) writes one BENCH_*.json per run when invoked with
 ``--json <dir>`` or with SCMP_BENCH_JSON_DIR set (see bench/bench_common.hpp
-and docs/observability.md). CI's bench-smoke job runs this validator over the
+and docs/observability.md). Observability sessions (--timeseries) write
+*timeseries*.jsonl streams. CI's bench-smoke job runs this validator over the
 emitted files before uploading them as artifacts, so a schema regression
 fails the build rather than silently breaking downstream plotting.
 
@@ -22,13 +24,23 @@ Schema "scmp-bench-v1":
     ]
   }
 
-null is the JSON spelling of a non-finite statistic (e.g. min/max of an
-empty distribution). Extra keys are rejected: the schema is versioned, so
-additions belong in a v2.
+Schema "scmp-timeseries-v1" (line-oriented; see src/obs/timeseries.hpp):
+
+  {"schema": "scmp-timeseries-v1", "interval": positive number}
+  {"run": int, "t": number, "counters": {name: number, ...},
+   "gauges": {name: number, ...},
+   "histograms": {name: {"count": int, "delta": int,
+                         "p50": number, "p95": number, "p99": number}}}
+
+with `run` non-decreasing across windows and `t` strictly increasing within
+a run. null is the JSON spelling of a non-finite statistic (e.g. min/max of
+an empty distribution). Extra keys are rejected: the schemas are versioned,
+so additions belong in a v2.
 
 Usage: tools/check_bench_json.py FILE_OR_DIR [...]
-With a directory argument, validates every BENCH_*.json inside. Exits
-non-zero on any violation (or when a directory contains no bench files).
+With a directory argument, validates every BENCH_*.json and every
+*timeseries*.jsonl inside. Exits non-zero on any violation (or when a
+directory contains neither kind of file).
 """
 
 from __future__ import annotations
@@ -92,10 +104,97 @@ def check_file(path: pathlib.Path) -> list[str]:
     return errors
 
 
+HIST_KEYS = {"count", "delta", "p50", "p95", "p99"}
+WINDOW_KEYS = {"run", "t", "counters", "gauges", "histograms"}
+
+
+def is_nonneg_int(v) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def check_timeseries_file(path: pathlib.Path) -> list[str]:
+    errors: list[str] = []
+
+    def err(msg: str):
+        errors.append(f"{path}: {msg}")
+
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        return [f"{path}: unreadable: {exc}"]
+    if not lines:
+        return [f"{path}: empty stream (the header line is mandatory)"]
+
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        return [f"{path}: line 1: invalid JSON: {exc}"]
+    if not isinstance(header, dict) or set(header) != {"schema", "interval"}:
+        err("line 1: header keys must be exactly schema/interval")
+    if isinstance(header, dict):
+        if header.get("schema") != "scmp-timeseries-v1":
+            err(f"header schema must be \"scmp-timeseries-v1\", "
+                f"got {header.get('schema')!r}")
+        if not is_number(header.get("interval")) or header["interval"] <= 0:
+            err("header interval must be a positive number")
+
+    prev_run = None
+    prev_t = None
+    for lineno, line in enumerate(lines[1:], start=2):
+        where = f"line {lineno}"
+        try:
+            w = json.loads(line)
+        except json.JSONDecodeError as exc:
+            err(f"{where}: invalid JSON: {exc}")
+            continue
+        if not isinstance(w, dict) or set(w) != WINDOW_KEYS:
+            err(f"{where}: window keys must be {sorted(WINDOW_KEYS)}")
+            continue
+        if not is_nonneg_int(w["run"]):
+            err(f"{where}: run must be a non-negative integer")
+            continue
+        if not is_number(w["t"]):
+            err(f"{where}: t must be a number")
+            continue
+        if prev_run is not None and w["run"] < prev_run:
+            err(f"{where}: run went backwards ({prev_run} -> {w['run']})")
+        if prev_run == w["run"] and prev_t is not None and w["t"] <= prev_t:
+            err(f"{where}: t must increase strictly within a run "
+                f"({prev_t} -> {w['t']})")
+        prev_run, prev_t = w["run"], w["t"]
+        for section in ("counters", "gauges"):
+            if not isinstance(w[section], dict):
+                err(f"{where}: {section} must be an object")
+                continue
+            for name, v in w[section].items():
+                if not name or not is_number(v):
+                    err(f"{where}: {section}[{name!r}] must be a number")
+        if not isinstance(w["histograms"], dict):
+            err(f"{where}: histograms must be an object")
+            continue
+        for name, h in w["histograms"].items():
+            if not isinstance(h, dict) or set(h) != HIST_KEYS:
+                err(f"{where}: histograms[{name!r}] keys must be "
+                    f"{sorted(HIST_KEYS)}")
+                continue
+            if not is_nonneg_int(h["count"]) or not is_nonneg_int(h["delta"]):
+                err(f"{where}: histograms[{name!r}] count/delta must be "
+                    "non-negative integers")
+            for q in ("p50", "p95", "p99"):
+                if not is_number(h[q]):
+                    err(f"{where}: histograms[{name!r}].{q} must be a number")
+    return errors
+
+
+def is_timeseries(path: pathlib.Path) -> bool:
+    return "timeseries" in path.name and path.suffix == ".jsonl"
+
+
 def collect(arg: str) -> list[pathlib.Path]:
     path = pathlib.Path(arg)
     if path.is_dir():
-        return sorted(path.glob("BENCH_*.json"))
+        return sorted(path.glob("BENCH_*.json")) + \
+            sorted(path.glob("*timeseries*.jsonl"))
     return [path]
 
 
@@ -107,12 +206,14 @@ def main(argv: list[str]) -> int:
     for arg in argv:
         found = collect(arg)
         if not found:
-            print(f"{arg}: no BENCH_*.json files", file=sys.stderr)
+            print(f"{arg}: no BENCH_*.json or *timeseries*.jsonl files",
+                  file=sys.stderr)
             return 1
         files.extend(found)
     errors: list[str] = []
     for f in files:
-        errors.extend(check_file(f))
+        errors.extend(check_timeseries_file(f) if is_timeseries(f)
+                      else check_file(f))
     for e in errors:
         print(e)
     if errors:

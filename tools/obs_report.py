@@ -1,0 +1,306 @@
+#!/usr/bin/env python3
+"""Merges one run's observability artifacts into a single markdown report.
+
+Discovers, in the given directory (all kinds optional, any combination):
+
+  BENCH_*.json         scmp-bench-v1 bench statistics (bench/ --json)
+  *.prom               Prometheus metric snapshots (--metrics)
+  *timeseries*.jsonl   scmp-timeseries-v1 metric time series (--timeseries)
+  *flight*.jsonl       causal flight-recorder records (--flight)
+
+and writes one markdown document: bench tables, the metrics snapshot with a
+dedicated convergence section, a time-series digest, and flight-recorder
+statistics including a reconstructed JOIN -> installed causal chain. CI's
+bench-smoke job publishes the result as a build artifact.
+
+Usage: tools/obs_report.py DIR [-o REPORT.md]
+(default output is stdout)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+PROM_SAMPLE_RE = re.compile(
+    r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$")
+
+
+def fmt(v) -> str:
+    """Compact numeric formatting for markdown cells."""
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return str(v)
+
+
+def table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    out = ["| " + " | ".join(headers) + " |",
+           "|" + "|".join(" --- " for _ in headers) + "|"]
+    out.extend("| " + " | ".join(r) + " |" for r in rows)
+    return out
+
+
+# ---- bench JSON ------------------------------------------------------------
+
+
+def bench_section(files: list[pathlib.Path]) -> list[str]:
+    out = ["## Benchmarks", ""]
+    for path in files:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        out.append(f"### {doc.get('bench', path.name)}")
+        out.append("")
+        rows = [[p["series"], fmt(p["x"]), fmt(p["count"]), fmt(p["mean"]),
+                 fmt(p["p50"]), fmt(p["p95"]), fmt(p["p99"])]
+                for p in doc.get("points", [])]
+        out.extend(table(["series", "x", "count", "mean", "p50", "p95",
+                          "p99"], rows))
+        out.append("")
+    return out
+
+
+# ---- Prometheus snapshots --------------------------------------------------
+
+
+def parse_prom(path: pathlib.Path) -> dict[str, dict]:
+    """family name -> {"type": str, "samples": [(name, labels, value)]}."""
+    families: dict[str, dict] = {}
+    current = None
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                current = parts[2]
+                families[current] = {"type": parts[3], "samples": []}
+            continue
+        m = PROM_SAMPLE_RE.match(line)
+        if m is None:
+            continue
+        name, labels, value = m.group("name"), m.group("labels"), \
+            m.group("value")
+        family = current if current and name.startswith(current) else name
+        families.setdefault(family, {"type": "untyped", "samples": []})
+        families[family]["samples"].append((name, labels or "", float(value)))
+    return families
+
+
+def label_get(labels: str, key: str) -> str:
+    m = re.search(rf'{key}="([^"]*)"', labels)
+    return m.group(1) if m else ""
+
+
+def metrics_section(files: list[pathlib.Path]) -> list[str]:
+    out = ["## Metrics", ""]
+    for path in files:
+        families = parse_prom(path)
+        out.append(f"### {path.name}")
+        out.append("")
+        rows = []
+        for family in sorted(families):
+            info = families[family]
+            if "convergence" in family:
+                continue  # gets its own section below
+            if info["type"] == "summary":
+                count = sum(v for n, _, v in info["samples"]
+                            if n.endswith("_count"))
+                p = {label_get(l, "quantile"): v
+                     for n, l, v in info["samples"] if "quantile" in l}
+                rows.append([family, "summary",
+                             f"n={fmt(int(count))} p50={fmt(p.get('0.5'))} "
+                             f"p95={fmt(p.get('0.95'))} "
+                             f"p99={fmt(p.get('0.99'))}"])
+                continue
+            for name, labels, value in info["samples"]:
+                if value == 0:
+                    continue  # zero-valued tags only add noise
+                tag = label_get(labels, "tag")
+                shown = f"{family}{{{tag}}}" if tag else family
+                rows.append([shown, info["type"], fmt(value)])
+        out.extend(table(["metric", "type", "value"], rows))
+        out.append("")
+    return out
+
+
+def convergence_section(files: list[pathlib.Path]) -> list[str]:
+    out = ["## Convergence", ""]
+    rows = []
+    for path in files:
+        for family, info in sorted(parse_prom(path).items()):
+            if "convergence" not in family:
+                continue
+            if info["type"] == "summary":
+                by_tag: dict[str, dict] = {}
+                for name, labels, value in info["samples"]:
+                    entry = by_tag.setdefault(label_get(labels, "tag"), {})
+                    if name.endswith("_count"):
+                        entry["count"] = value
+                    elif name.endswith("_sum"):
+                        entry["sum"] = value
+                    elif "quantile" in labels:
+                        entry[label_get(labels, "quantile")] = value
+                for tag, e in sorted(by_tag.items()):
+                    rows.append([f"{family}{{{tag}}}",
+                                 fmt(int(e.get("count", 0))),
+                                 fmt(e.get("0.5")), fmt(e.get("0.95")),
+                                 fmt(e.get("0.99"))])
+            else:
+                for name, labels, value in info["samples"]:
+                    tag = label_get(labels, "tag")
+                    shown = f"{family}{{{tag}}}" if tag else family
+                    rows.append([shown, fmt(value), "-", "-", "-"])
+    if not rows:
+        return []
+    out.extend(table(["metric", "count/value", "p50", "p95", "p99"], rows))
+    out.append("")
+    return out
+
+
+# ---- time-series streams ---------------------------------------------------
+
+
+def timeseries_section(files: list[pathlib.Path]) -> list[str]:
+    out = ["## Time series", ""]
+    for path in files:
+        lines = path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            continue
+        header = json.loads(lines[0])
+        windows = [json.loads(line) for line in lines[1:]]
+        runs: dict[int, list[dict]] = {}
+        for w in windows:
+            runs.setdefault(w["run"], []).append(w)
+        out.append(f"### {path.name}")
+        out.append("")
+        out.append(f"interval {fmt(header.get('interval'))} s, "
+                   f"{len(windows)} window(s), {len(runs)} run(s)")
+        out.append("")
+        rows = []
+        for run, ws in sorted(runs.items()):
+            totals: dict[str, float] = {}
+            for w in ws:
+                for name, delta in w["counters"].items():
+                    totals[name] = totals.get(name, 0) + delta
+            top = sorted(totals.items(), key=lambda kv: -kv[1])[:5]
+            busiest = ", ".join(f"{n}={fmt(v)}" for n, v in top)
+            rows.append([str(run), str(len(ws)),
+                         f"{fmt(ws[0]['t'])}..{fmt(ws[-1]['t'])}",
+                         busiest or "-"])
+        out.extend(table(["run", "windows", "t range (s)",
+                          "top counter deltas"], rows))
+        out.append("")
+    return out
+
+
+# ---- flight recorder -------------------------------------------------------
+
+
+def chain_of(records: list[dict], root_req: int) -> list[dict]:
+    """Python twin of obs::story_of — fixpoint over the cause links."""
+    chain = {root_req}
+    grew = True
+    while grew:
+        grew = False
+        for r in records:
+            if r["req"] != 0 and r["req"] not in chain \
+                    and r["cause"] in chain:
+                chain.add(r["req"])
+                grew = True
+    return [r for r in records
+            if r["req"] in chain or (r["req"] == 0 and r["cause"] in chain)]
+
+
+def flight_section(files: list[pathlib.Path]) -> list[str]:
+    out = ["## Flight recorder", ""]
+    for path in files:
+        records = [json.loads(line) for line in
+                   path.read_text(encoding="utf-8").splitlines() if line]
+        out.append(f"### {path.name}")
+        out.append("")
+        by_kind: dict[str, int] = {}
+        for r in records:
+            by_kind[r["kind"]] = by_kind.get(r["kind"], 0) + 1
+        out.extend(table(["kind", "records"],
+                         [[k, str(n)] for k, n in sorted(by_kind.items())]))
+        out.append("")
+
+        stories = [r for r in records
+                   if r["kind"] == "handle" and r["what"] == "JOIN"
+                   and r["req"] != 0]
+        shown = None
+        complete = 0
+        for root in stories:
+            chain = chain_of(records, root["req"])
+            if any(r["kind"] == "installed" for r in chain):
+                complete += 1
+                if shown is None:
+                    shown = chain
+        out.append(f"{len(stories)} JOIN story(ies), {complete} complete "
+                   "JOIN -> installed chain(s)")
+        out.append("")
+        if shown is not None:
+            out.append("First complete chain:")
+            out.append("")
+            rows = [[fmt(r["t"]), r["kind"], r["what"], str(r["req"]),
+                     str(r["cause"]), str(r["group"]), str(r["from"]),
+                     str(r["to"])] for r in shown]
+            out.extend(table(["t (s)", "kind", "what", "req", "cause",
+                              "group", "from", "to"], rows))
+            out.append("")
+    return out
+
+
+# ---- main ------------------------------------------------------------------
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        description="Merge observability artifacts into a markdown report.")
+    ap.add_argument("dir", help="directory holding the artifacts")
+    ap.add_argument("-o", "--out", help="output file (default stdout)")
+    args = ap.parse_args(argv)
+
+    root = pathlib.Path(args.dir)
+    if not root.is_dir():
+        print(f"{args.dir}: not a directory", file=sys.stderr)
+        return 2
+    bench = sorted(root.glob("BENCH_*.json"))
+    prom = sorted(root.glob("*.prom"))
+    timeseries = sorted(root.glob("*timeseries*.jsonl"))
+    flight = sorted(p for p in root.glob("*flight*.jsonl"))
+
+    lines = ["# Observability report", ""]
+    inventory = [f"- `{p.name}`" for p in bench + prom + timeseries + flight]
+    if not inventory:
+        print(f"{args.dir}: no observability artifacts found",
+              file=sys.stderr)
+        return 1
+    lines.extend(["Inputs:", ""] + inventory + [""])
+    if bench:
+        lines.extend(bench_section(bench))
+    if prom:
+        lines.extend(metrics_section(prom))
+        lines.extend(convergence_section(prom))
+    if timeseries:
+        lines.extend(timeseries_section(timeseries))
+    if flight:
+        lines.extend(flight_section(flight))
+
+    text = "\n".join(lines).rstrip() + "\n"
+    if args.out:
+        pathlib.Path(args.out).write_text(text, encoding="utf-8")
+        print(f"obs_report.py: wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
