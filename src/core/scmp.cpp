@@ -996,16 +996,18 @@ void Scmp::forward_data(graph::NodeId at, const sim::Packet& pkt,
             // design — the paper's reliability machinery covers control
             // packets only (delayed on-tree DATA fan-out behind the fabric
             // transit model).)
-            if (next != from) net().send_link(at, next, p);
+            if (next != from) net().send_link(at, next, net().clone_packet(p));
           }
         });
     return;
   }
   for (graph::NodeId next : fset) {
+    // Each branch gets a pooled clone instead of a fresh copy, recycling
+    // path/payload capacity released by past deliveries.
     // protocol: fire-and-forget(data traffic is best-effort by design — the
     // paper's reliability machinery covers control packets only (on-tree
     // DATA fan-out).)
-    if (next != from) net().send_link(at, next, pkt);
+    if (next != from) net().send_link(at, next, net().clone_packet(pkt));
   }
 }
 

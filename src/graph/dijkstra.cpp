@@ -54,6 +54,10 @@ void dijkstra_into(const Graph& g, NodeId source, Metric metric,
   // hot-path: allow(one-time per-run setup, outside the relaxation loop)
   std::vector<char> done(n, 0);
 
+  // Relax over the flat CSR rows: the whole frontier's neighbours live in
+  // one contiguous array instead of n separate vectors.
+  const Graph::CsrView& csr = g.csr();
+
   while (!heap.empty()) {
     const auto [d, u] = heap.top();
     heap.pop();
@@ -61,7 +65,7 @@ void dijkstra_into(const Graph& g, NodeId source, Metric metric,
     done[static_cast<std::size_t>(u)] = 1;
     const double cu = out.companion[static_cast<std::size_t>(u)];
     const std::int32_t hu = out.hops[static_cast<std::size_t>(u)];
-    for (const auto& nb : g.neighbors(u)) {
+    for (const auto& nb : csr.row(u)) {
       // A finalized node never re-parents: with positive weights no later
       // relaxation can match its distance anyway, and for zero-weight edges
       // the guard keeps every descendant's companion/hops consistent with

@@ -26,6 +26,10 @@ void AllPairsPaths::rebuild(const Graph& g, const ParallelFor& pf) {
   by_delay_.resize(n);
   by_cost_.resize(n);
   sources_recomputed_counter().inc(n);
+  // Warm the CSR cache before fanning out: the lazy build mutates the
+  // graph's cache under const, so it must happen on this thread, not raced
+  // by the pool workers' first g.csr() calls.
+  g.csr();
   const auto recompute_source = [&](std::size_t i) {
     const auto u = static_cast<NodeId>(i);
     dijkstra_into(g, u, Metric::kDelay, by_delay_[i]);
@@ -91,6 +95,7 @@ int AllPairsPaths::apply_link_event(const Graph& g, NodeId u, NodeId v,
     }
   }
   sources_recomputed_counter().inc(dirty.size());
+  g.csr();  // single-threaded warm-up, as in rebuild()
   const auto recompute = [&](std::size_t k) {
     const std::size_t i = dirty[k];
     const auto s = static_cast<NodeId>(i);

@@ -148,13 +148,14 @@ double Network::link_delay_seconds(graph::NodeId u, graph::NodeId v) const {
 }
 
 void Network::transmit(graph::NodeId from, graph::NodeId to, Packet pkt,
-                       std::function<void(Packet)> on_arrival) {
+                       Arrival arrival) {
   const graph::EdgeAttr* e = graph_.edge(from, to);
   if (e == nullptr) {
     // The interface is down (the link failed while this router still held
     // forwarding state across it): drop, as a real router would.
     ++stats_.no_link_drops;
     link_counters().no_link_drops->inc();
+    packet_pool_.release(std::move(pkt));
     return;
   }
 
@@ -163,6 +164,7 @@ void Network::transmit(graph::NodeId from, graph::NodeId to, Packet pkt,
   if (drop_filter_ && drop_filter_(from, to, pkt)) {
     ++stats_.injected_drops;
     link_counters().injected_drops->inc();
+    packet_pool_.release(std::move(pkt));
     return;
   }
 
@@ -183,6 +185,7 @@ void Network::transmit(graph::NodeId from, graph::NodeId to, Packet pkt,
   if (static_cast<std::size_t>(backlog) >= node_queue_limit(from)) {
     ++stats_.queue_drops;
     link_counters().queue_drops->inc();
+    packet_pool_.release(std::move(pkt));
     return;
   }
   ++backlog;
@@ -240,20 +243,34 @@ void Network::transmit(graph::NodeId from, graph::NodeId to, Packet pkt,
       }
     }
   });
-  const SimTime arrival = free_at + e->delay * delay_scale_;
-  queue_->schedule_at(arrival,
-                      [fn = std::move(on_arrival), p = std::move(pkt)]() mutable {
-                        fn(std::move(p));
-                      });
-}
-
-void Network::send_link(graph::NodeId from, graph::NodeId to, Packet pkt) {
-  log_trace("link ", from, "->", to, " ", describe(pkt));
-  transmit(from, to, std::move(pkt), [this, from, to](Packet p) {
+  const SimTime arrival_at = free_at + e->delay * delay_scale_;
+  // The packet moves into the arrival closure — no copy — and the closure
+  // is a fixed-size capture (this + endpoints + mode + the packet itself)
+  // sized to the queue's inline handler buffer, so the hot delivery path
+  // stores it without boxing. Network guarantees this at compile time:
+  auto deliver = [this, from, to, arrival, p = std::move(pkt)]() mutable {
+    if (arrival == Arrival::kForward) {
+      forward_unicast(to, from, std::move(p));
+      return;
+    }
     RouterAgent* a = agents_[static_cast<std::size_t>(to)];
     SCMP_ASSERT(a != nullptr);
     a->handle(p, from);
-  });
+    // The agent saw a const reference (anything it kept is a copy); the
+    // packet is dead here and its vector capacity goes back to the pool.
+    packet_pool_.release(std::move(p));
+  };
+  static_assert(EventQueue::Handler::stores_inline<decltype(deliver)>(),
+                "delivery closure must fit kEventHandlerCapacity");
+  queue_->schedule_at(arrival_at, std::move(deliver));
+}
+
+void Network::send_link(graph::NodeId from, graph::NodeId to, Packet pkt) {
+  // describe() builds a string; guard so the disabled-trace hot path pays
+  // only the level check.
+  if (log_level() >= LogLevel::kTrace)
+    log_trace("link ", from, "->", to, " ", describe(pkt));
+  transmit(from, to, std::move(pkt), Arrival::kHandle);
 }
 
 void Network::forward_unicast(graph::NodeId at, graph::NodeId prev,
@@ -262,22 +279,24 @@ void Network::forward_unicast(graph::NodeId at, graph::NodeId prev,
     RouterAgent* a = agents_[static_cast<std::size_t>(at)];
     SCMP_ASSERT(a != nullptr);
     a->handle(pkt, prev);
+    packet_pool_.release(std::move(pkt));
     return;
   }
   const graph::NodeId hop = routing_.next_hop(at, pkt.dst);
-  transmit(at, hop, std::move(pkt),
-           [this, at, hop](Packet p) { forward_unicast(hop, at, std::move(p)); });
+  transmit(at, hop, std::move(pkt), Arrival::kForward);
 }
 
 void Network::send_unicast(graph::NodeId from, Packet pkt) {
   SCMP_EXPECTS(graph_.valid(pkt.dst));
-  log_trace("unicast ", from, "=>", pkt.dst, " ", describe(pkt));
+  if (log_level() >= LogLevel::kTrace)
+    log_trace("unicast ", from, "=>", pkt.dst, " ", describe(pkt));
   if (from == pkt.dst) {
     // Local delivery still goes through the event queue for determinism.
-    queue_->schedule_in(0.0, [this, from, p = std::move(pkt)]() {
+    queue_->schedule_in(0.0, [this, from, p = std::move(pkt)]() mutable {
       RouterAgent* a = agents_[static_cast<std::size_t>(from)];
       SCMP_ASSERT(a != nullptr);
       a->handle(p, graph::kInvalidNode);
+      packet_pool_.release(std::move(p));
     });
     return;
   }
@@ -285,11 +304,27 @@ void Network::send_unicast(graph::NodeId from, Packet pkt) {
 }
 
 void Network::inject(graph::NodeId at, Packet pkt) {
-  queue_->schedule_in(0.0, [this, at, p = std::move(pkt)]() {
+  queue_->schedule_in(0.0, [this, at, p = std::move(pkt)]() mutable {
     RouterAgent* a = agents_[static_cast<std::size_t>(at)];
     SCMP_ASSERT(a != nullptr);
     a->handle(p, graph::kInvalidNode);
+    packet_pool_.release(std::move(p));
   });
+}
+
+Packet Network::clone_packet(const Packet& p) {
+  Packet c = packet_pool_.acquire();
+  c.type = p.type;
+  c.group = p.group;
+  c.src = p.src;
+  c.dst = p.dst;
+  c.uid = p.uid;
+  c.req = p.req;
+  c.created_at = p.created_at;
+  c.size_bytes = p.size_bytes;
+  c.path = p.path;        // vector assignment reuses the recycled capacity
+  c.payload = p.payload;
+  return c;
 }
 
 std::uint64_t Network::bytes_on_link(graph::NodeId u, graph::NodeId v) const {

@@ -11,6 +11,7 @@
 #include "graph/graph.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/packet.hpp"
+#include "sim/packet_pool.hpp"
 #include "sim/routing.hpp"
 #include "util/contracts.hpp"
 
@@ -88,6 +89,17 @@ class Network {
   /// Fresh identity for an original data packet.
   std::uint64_t next_uid() { return ++uid_counter_; }
 
+  /// Packet recycling (see PacketPool). The network releases every packet
+  /// it retires — delivered to an agent or dropped at an egress — so
+  /// protocols that build many short-lived packets (tree fan-out, floods)
+  /// can acquire recycled ones instead of allocating fresh vectors.
+  Packet make_packet() { return packet_pool_.acquire(); }
+  /// A field-for-field copy of `p` built on a recycled packet, reusing the
+  /// recycled path/payload capacity (the fan-out clone primitive).
+  Packet clone_packet(const Packet& p);
+  void release_packet(Packet&& p) { packet_pool_.release(std::move(p)); }
+  const PacketPool& packet_pool() const { return packet_pool_; }
+
   using DeliveryCallback =
       std::function<void(const Packet&, graph::NodeId member, SimTime at)>;
   void set_delivery_callback(DeliveryCallback cb) { on_delivery_ = std::move(cb); }
@@ -162,8 +174,16 @@ class Network {
   int link_backlog(graph::NodeId from, graph::NodeId to) const;
 
  private:
+  /// What happens when a transmitted packet arrives at `to`. A two-way enum
+  /// instead of a callback keeps the arrival closure a fixed POD capture
+  /// that fits the event queue's inline handler buffer — the hot delivery
+  /// path schedules without allocating.
+  enum class Arrival : std::uint8_t {
+    kHandle,   ///< hand to the agent at `to` (link-level delivery)
+    kForward,  ///< continue IP forwarding toward pkt.dst
+  };
   void transmit(graph::NodeId from, graph::NodeId to, Packet pkt,
-                std::function<void(Packet)> on_arrival);
+                Arrival arrival);
   void forward_unicast(graph::NodeId at, graph::NodeId prev, Packet pkt);
 
   graph::Graph graph_;
@@ -191,6 +211,7 @@ class Network {
   /// rejected during dispatch (see add_transmit_observer).
   bool dispatching_observers_ = false;
   DropFilter drop_filter_;
+  PacketPool packet_pool_;
 };
 
 }  // namespace scmp::sim

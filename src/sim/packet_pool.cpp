@@ -1,0 +1,40 @@
+#include "sim/packet_pool.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/contracts.hpp"
+
+namespace scmp::sim {
+
+namespace {
+
+obs::Counter& reuse_counter() {
+  static obs::Counter& c = obs::counter("sim.pool.packets.reuse");
+  return c;
+}
+
+}  // namespace
+
+Packet PacketPool::acquire() {
+  if (free_.empty()) return Packet{};
+  Packet p = std::move(free_.back());
+  free_.pop_back();
+  if (obs::metrics_enabled()) reuse_counter().inc();
+  SCMP_ENSURES(p.path.empty() && p.payload.empty());  // release() cleared it
+  return p;
+}
+
+void PacketPool::release(Packet&& p) {
+  if (free_.size() >= kMaxFree) return;  // destroy: the pool is full
+  // Reset to the blank state acquire() promises, moving the vectors through
+  // so their capacity survives the round trip.
+  Packet blank;
+  blank.path = std::move(p.path);
+  blank.payload = std::move(p.payload);
+  blank.path.clear();
+  blank.payload.clear();
+  free_.push_back(std::move(blank));
+}
+
+}  // namespace scmp::sim

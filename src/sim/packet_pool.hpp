@@ -1,0 +1,38 @@
+// Recycles Packet objects so the steady-state forwarding path reuses the
+// heap capacity of `path`/`payload` instead of allocating fresh vectors per
+// link crossing. The network releases a packet when it dies (delivered to an
+// agent, or dropped at an egress) and acquires from the pool when it clones
+// for a tree fan-out; the free list is therefore bounded by the in-flight
+// high-water mark (and capped defensively, see kMaxFree).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/packet.hpp"
+
+namespace scmp::sim {
+
+class PacketPool {
+ public:
+  /// A blank packet (default-constructed field values). When the free list
+  /// is non-empty this recycles a released packet — its `path`/`payload`
+  /// keep their old capacity — and counts sim.pool.packets.reuse.
+  Packet acquire();
+
+  /// Returns a dead packet to the pool. Scalars are reset and the vectors
+  /// cleared (capacity retained) so acquire() hands out blank packets.
+  void release(Packet&& p);
+
+  /// Packets currently parked on the free list (introspection for tests).
+  std::size_t free_count() const { return free_.size(); }
+
+  /// Free-list cap: beyond this a released packet is simply destroyed, so a
+  /// burst of in-flight packets cannot pin memory forever.
+  static constexpr std::size_t kMaxFree = 1024;
+
+ private:
+  std::vector<Packet> free_;
+};
+
+}  // namespace scmp::sim

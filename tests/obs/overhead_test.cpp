@@ -14,6 +14,7 @@
 #include "core/dcdm.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "sim/event_queue.hpp"
 #include "helpers.hpp"
 
 namespace {
@@ -80,6 +81,25 @@ TEST(Overhead, DcdmHotPathAllocStableWithMetricsOff) {
   // Identical runs must allocate identically: the obs layer contributes no
   // per-operation heap traffic when disabled.
   EXPECT_EQ(alloc_count() - before - per_run, per_run);
+}
+
+TEST(Overhead, EventPathAllocFreeWithMetricsOff) {
+  set_metrics_enabled(false);
+  set_tracing_enabled(false);
+  sim::EventQueue q;
+  auto round = [&q] {
+    for (int i = 0; i < 512; ++i)
+      q.schedule_in(static_cast<double>(i % 13), [] {});
+    q.run_all();
+  };
+  // Warm up: slab allocation, calendar growth and the staging vectors'
+  // capacity all happen in the first rounds and then stabilise.
+  for (int r = 0; r < 3; ++r) round();
+  const std::uint64_t before = alloc_count();
+  for (int r = 0; r < 10; ++r) round();
+  // Steady state: schedule_at/run_next recycle pooled event nodes and store
+  // handlers inline — the event path makes zero heap allocations.
+  EXPECT_EQ(alloc_count(), before);
 }
 
 }  // namespace

@@ -1,0 +1,231 @@
+// Calendar-queue-specific coverage: the edge cases of the bucket machinery
+// (rollover, far-future events, epoch resizes, empty-bucket sweeps, node
+// recycling), plus a randomized property test that replays the same
+// schedule through the old binary-heap implementation — kept here as an
+// oracle — and requires bit-identical execution order.
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <queue>
+#include <random>
+#include <tuple>
+#include <vector>
+
+namespace scmp::sim {
+namespace {
+
+TEST(EventQueueCalendar, BucketRollover) {
+  // Times that collide modulo the initial bucket count (16 buckets, width
+  // 1): slots 3, 19, 35, ... all hash to bucket 3 but must drain in slot
+  // order, not insertion order.
+  EventQueue q;
+  std::vector<double> fired;
+  for (double t : {35.0, 3.0, 19.0, 51.0})
+    q.schedule_at(t, [&fired, &q] { fired.push_back(q.now()); });
+  q.run_all();
+  EXPECT_EQ(fired, (std::vector<double>{3.0, 19.0, 35.0, 51.0}));
+}
+
+TEST(EventQueueCalendar, FarFutureEvent) {
+  // An event far beyond one calendar revolution: the cursor sweep gives up
+  // after a full lap and the queue falls back to a direct min-slot scan.
+  EventQueue q;
+  std::vector<double> fired;
+  for (double t : {1e12, 0.5, 2.0})
+    q.schedule_at(t, [&fired, &q] { fired.push_back(q.now()); });
+  q.run_all();
+  EXPECT_EQ(fired, (std::vector<double>{0.5, 2.0, 1e12}));
+  EXPECT_DOUBLE_EQ(q.now(), 1e12);
+}
+
+TEST(EventQueueCalendar, BeyondExactIntegerRange) {
+  // Slot arithmetic saturates past 2^53 (doubles lose integer exactness);
+  // ordering must survive via the fallback scan. Ties at the same huge
+  // timestamp still fire in schedule order.
+  EventQueue q;
+  std::vector<int> fired;
+  const double huge = 1e16;
+  q.schedule_at(huge, [&fired] { fired.push_back(1); });
+  q.schedule_at(huge, [&fired] { fired.push_back(2); });
+  q.schedule_at(1.0, [&fired] { fired.push_back(0); });
+  q.run_all();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueueCalendar, EpochResizeGrowsAndShrinks) {
+  // Bulk-load far above the initial calendar, drain through the growth
+  // epoch, then keep draining: the calendar must grow past kMinBuckets and
+  // later shrink back when the population collapses.
+  EventQueue q;
+  constexpr int kLoad = 5000;
+  EXPECT_EQ(q.bucket_count(), EventQueue::kMinBuckets);
+  std::size_t mid_drain_buckets = 0;
+  for (int i = 0; i < kLoad; ++i) {
+    const double t = static_cast<double>(i % 250);
+    q.schedule_at(t, [&q, &mid_drain_buckets] {
+      mid_drain_buckets = std::max(mid_drain_buckets, q.bucket_count());
+    });
+  }
+  q.run_all();
+  EXPECT_GT(mid_drain_buckets, EventQueue::kMinBuckets);
+  // A fresh trickle after the storm: the next drain boundary re-sizes the
+  // calendar back down toward the small population.
+  for (int i = 0; i < 8; ++i)
+    q.schedule_in(static_cast<double>(i), [] {});
+  q.run_all();
+  EXPECT_LT(q.bucket_count(), mid_drain_buckets);
+}
+
+TEST(EventQueueCalendar, EmptyBucketSkip) {
+  // Sparse population: long empty stretches between occupied slots, within
+  // one revolution and across several.
+  EventQueue q;
+  std::vector<double> fired;
+  for (double t : {0.0, 7.0, 8.0, 15.0, 100.0, 101.0})
+    q.schedule_at(t, [&fired, &q] { fired.push_back(q.now()); });
+  q.run_all();
+  EXPECT_EQ(fired,
+            (std::vector<double>{0.0, 7.0, 8.0, 15.0, 100.0, 101.0}));
+}
+
+TEST(EventQueueCalendar, SteadyStateRecyclesNodes) {
+  // After a warm-up round the pool should satisfy identical rounds from
+  // the free list without growing.
+  EventQueue q;
+  auto round = [&q] {
+    for (int i = 0; i < 256; ++i)
+      q.schedule_in(static_cast<double>(i % 17), [] {});
+    q.run_all();
+  };
+  round();
+  const std::size_t warm = q.pool_allocated();
+  for (int r = 0; r < 5; ++r) round();
+  EXPECT_EQ(q.pool_allocated(), warm);
+}
+
+TEST(EventQueueCalendar, ZeroDelayCascadeIntoActiveSlot) {
+  // Events scheduled at the *current* timestamp from inside a handler land
+  // in the already-staged slot and must still run this round, after every
+  // earlier (time, seq) event.
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule_at(1.0, [&] {
+    fired.push_back(0);
+    q.schedule_in(0.0, [&] {
+      fired.push_back(2);
+      q.schedule_in(0.0, [&] { fired.push_back(3); });
+    });
+  });
+  q.schedule_at(1.0, [&] { fired.push_back(1); });
+  q.run_all();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Heap oracle: the pre-calendar implementation, verbatim in behaviour — a
+// (time, seq) min-heap. The property test replays random schedules through
+// both and demands identical execution sequences, bit for bit.
+// ---------------------------------------------------------------------------
+
+class HeapOracle {
+ public:
+  double now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+
+  void schedule_at(double t, int id) {
+    heap_.emplace(t, next_seq_++, id);
+  }
+
+  /// Pops the earliest event; returns its id, advancing the clock.
+  int run_next() {
+    const auto [t, seq, id] = heap_.top();
+    heap_.pop();
+    now_ = t;
+    return id;
+  }
+  double front_time() const { return std::get<0>(heap_.top()); }
+
+  void advance_to(double t) { now_ = t; }
+
+ private:
+  using Entry = std::tuple<double, std::uint64_t, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// One randomized episode: interleaved schedules (with same-timestamp
+/// bursts), run_next batches and run_until boundaries, replayed through the
+/// calendar queue and the heap oracle simultaneously.
+void run_episode(std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  EventQueue q;
+  HeapOracle oracle;
+  std::vector<int> q_order;
+  std::vector<int> oracle_order;
+  std::vector<double> q_times;
+  std::vector<double> oracle_times;
+  int next_id = 0;
+
+  std::uniform_real_distribution<double> delay(0.0, 50.0);
+  std::uniform_int_distribution<int> burst(1, 8);
+  std::uniform_int_distribution<int> op(0, 9);
+
+  for (int step = 0; step < 2000; ++step) {
+    const int what = op(rng);
+    if (what < 6) {
+      // Schedule a burst; every event in it shares one timestamp, the
+      // adversarial case for tie-breaking.
+      const double t = q.now() + delay(rng);
+      const int n = burst(rng);
+      for (int i = 0; i < n; ++i) {
+        const int id = next_id++;
+        q.schedule_at(t, [id, &q_order, &q_times, &q] {
+          q_order.push_back(id);
+          q_times.push_back(q.now());
+        });
+        oracle.schedule_at(t, id);
+      }
+    } else if (what < 9) {
+      for (int i = 0; i < 4 && !oracle.empty(); ++i) {
+        ASSERT_TRUE(q.run_next());
+        oracle_order.push_back(oracle.run_next());
+        oracle_times.push_back(oracle.now());
+      }
+    } else {
+      // run_until at a boundary that may bisect a burst's timestamp
+      // exactly (delay 0 hits the front event's own time).
+      const double horizon = q.now() + delay(rng) * 0.5;
+      q.run_until(horizon);
+      while (!oracle.empty() && oracle.front_time() <= horizon) {
+        oracle_order.push_back(oracle.run_next());
+        oracle_times.push_back(oracle.now());
+      }
+      oracle.advance_to(horizon);
+      ASSERT_DOUBLE_EQ(q.now(), oracle.now());
+    }
+    ASSERT_EQ(q_order.size(), oracle_order.size());
+  }
+  while (!oracle.empty()) {
+    ASSERT_TRUE(q.run_next());
+    oracle_order.push_back(oracle.run_next());
+    oracle_times.push_back(oracle.now());
+  }
+  EXPECT_FALSE(q.run_next());
+
+  ASSERT_EQ(q_order, oracle_order);
+  ASSERT_EQ(q_times.size(), oracle_times.size());
+  for (std::size_t i = 0; i < q_times.size(); ++i)
+    ASSERT_EQ(q_times[i], oracle_times[i]) << "event index " << i;
+}
+
+TEST(EventQueueOracle, BitIdenticalSeed1) { run_episode(1); }
+TEST(EventQueueOracle, BitIdenticalSeed2) { run_episode(2); }
+TEST(EventQueueOracle, BitIdenticalSeed3) { run_episode(3); }
+TEST(EventQueueOracle, BitIdenticalSeed4) { run_episode(0xC0FFEE); }
+
+}  // namespace
+}  // namespace scmp::sim

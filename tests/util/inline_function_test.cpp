@@ -1,0 +1,110 @@
+#include "util/inline_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace scmp::util {
+namespace {
+
+TEST(InlineFunction, DefaultIsEmpty) {
+  InlineFunction<int()> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  InlineFunction<int()> g = nullptr;
+  EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(InlineFunction, InvokesSmallCallableInline) {
+  int hits = 0;
+  InlineFunction<void()> f{[&hits] { ++hits; }};
+  static_assert(InlineFunction<void()>::stores_inline<decltype([] {})>());
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, PassesArgumentsAndReturns) {
+  InlineFunction<int(int, int)> add{[](int a, int b) { return a + b; }};
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(InlineFunction, MoveTransfersOwnership) {
+  int hits = 0;
+  InlineFunction<void()> f{[&hits] { ++hits; }};
+  InlineFunction<void()> g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(g));
+  g();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFunction, MoveAssignReplacesTarget) {
+  int a = 0;
+  int b = 0;
+  InlineFunction<void()> f{[&a] { ++a; }};
+  InlineFunction<void()> g{[&b] { ++b; }};
+  g = std::move(f);
+  g();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 0);
+}
+
+TEST(InlineFunction, MoveOnlyCapture) {
+  auto p = std::make_unique<int>(41);
+  InlineFunction<int()> f{[p = std::move(p)] { return *p + 1; }};
+  InlineFunction<int()> g = std::move(f);
+  EXPECT_EQ(g(), 42);
+}
+
+TEST(InlineFunction, OversizedCallableBoxes) {
+  // A capture larger than the inline buffer must still work (heap boxed).
+  std::array<std::size_t, 64> big{};
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = i;
+  auto fn = [big] {
+    std::size_t sum = 0;
+    for (const std::size_t v : big) sum += v;
+    return sum;
+  };
+  static_assert(sizeof(fn) > 64);
+  static_assert(!InlineFunction<std::size_t()>::stores_inline<decltype(fn)>());
+  InlineFunction<std::size_t()> f{fn};
+  InlineFunction<std::size_t()> g = std::move(f);
+  EXPECT_EQ(g(), 64u * 63u / 2u);
+}
+
+TEST(InlineFunction, ResetClears) {
+  InlineFunction<void()> f{[] {}};
+  ASSERT_TRUE(static_cast<bool>(f));
+  f.reset();
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFunction, CapacityBoundary) {
+  // Exactly-at-capacity callables stay inline; one byte over boxes.
+  struct Fit {
+    std::array<std::byte, 64> pad;
+    void operator()() const {}
+  };
+  static_assert(InlineFunction<void()>::stores_inline<Fit>());
+  struct Over {
+    std::array<std::byte, 65> pad;
+    void operator()() const {}
+  };
+  static_assert(!InlineFunction<void()>::stores_inline<Over>());
+  InlineFunction<void()> f{Fit{}};
+  InlineFunction<void()> g{Over{}};
+  f();
+  g();
+}
+
+TEST(InlineFunctionDeath, InvokingEmptyTraps) {
+  InlineFunction<void()> f;
+  EXPECT_DEATH(f(), "Precondition");
+}
+
+}  // namespace
+}  // namespace scmp::util

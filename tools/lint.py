@@ -120,12 +120,16 @@ PACKET_CPP = "src/sim/packet.cpp"
 
 # Allocation-free hot paths: file -> function definitions the hot-path-alloc
 # rule scans. join() runs per membership change, dijkstra_into() n times per
-# path-database rebuild; an accidental per-call allocation here is a real
+# path-database rebuild, and the event-queue/transmit trio once per simulated
+# event or link crossing; an accidental per-call allocation here is a real
 # throughput regression even when every test stays green.
 HOT_PATH_FUNCS = {
     "src/core/dcdm.cpp": ("DcdmTree::join", "DcdmTree::leave",
                           "DcdmTree::delay_bound_for"),
     "src/graph/dijkstra.cpp": ("dijkstra_into",),
+    "src/sim/event_queue.cpp": ("EventQueue::schedule_at",
+                                "EventQueue::run_next"),
+    "src/sim/network.cpp": ("Network::transmit",),
 }
 
 CONTRACT_RE = re.compile(r"\bSCMP_(EXPECTS|ENSURES|ASSERT)\s*\(")
