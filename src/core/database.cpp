@@ -1,44 +1,61 @@
 #include "core/database.hpp"
 
+#include <algorithm>
+
 #include "util/contracts.hpp"
 
 namespace scmp::core {
 
+MRouterDatabase::MRouterDatabase(int num_shards) {
+  SCMP_EXPECTS(num_shards >= 1);
+  shards_.resize(static_cast<std::size_t>(num_shards));
+}
+
+std::size_t MRouterDatabase::shard_of(GroupId group) const {
+  const std::uint32_t mixed = static_cast<std::uint32_t>(group) * 2654435761u;
+  return mixed % shards_.size();
+}
+
 McastAddress MRouterDatabase::start_session(GroupId group, double now) {
-  const auto it = active_.find(group);
-  if (it != active_.end()) return it->second.address;
+  Shard& shard = shard_for(group);
+  const auto it = shard.active.find(group);
+  if (it != shard.active.end()) return it->second.address;
   SessionRecord rec;
   rec.group = group;
   rec.address = next_address_++;
   rec.started_at = now;
-  active_.emplace(group, rec);
+  shard.active.emplace(group, rec);
   return rec.address;
 }
 
 void MRouterDatabase::end_session(GroupId group, double now) {
-  const auto it = active_.find(group);
-  SCMP_EXPECTS(it != active_.end());
+  Shard& shard = shard_for(group);
+  const auto it = shard.active.find(group);
+  SCMP_EXPECTS(it != shard.active.end());
   it->second.ended_at = now;
   ended_.push_back(it->second);
-  active_.erase(it);
-  members_.erase(group);
+  shard.active.erase(it);
+  shard.members.erase(group);
 }
 
 bool MRouterDatabase::session_active(GroupId group) const {
-  return active_.contains(group);
+  return shard_for(group).active.contains(group);
 }
 
 std::optional<McastAddress> MRouterDatabase::address_of(GroupId group) const {
-  const auto it = active_.find(group);
-  if (it == active_.end()) return std::nullopt;
+  const Shard& shard = shard_for(group);
+  const auto it = shard.active.find(group);
+  if (it == shard.active.end()) return std::nullopt;
   return it->second.address;
 }
 
 std::vector<std::pair<GroupId, McastAddress>>
 MRouterDatabase::published_addresses() const {
   std::vector<std::pair<GroupId, McastAddress>> out;
-  out.reserve(active_.size());
-  for (const auto& [group, rec] : active_) out.emplace_back(group, rec.address);
+  for (const Shard& shard : shards_)
+    for (const auto& [group, rec] : shard.active)
+      out.emplace_back(group, rec.address);
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -46,22 +63,24 @@ bool MRouterDatabase::record_join(GroupId group, graph::NodeId router,
                                   double now, std::uint64_t req) {
   if (req != 0 && !seen_join_reqs_.insert(req).second)
     return false;  // retransmitted JOIN: already recorded and billed
-  members_[group].insert(router);
+  shard_for(group).members[group].insert(router);
   log_.push_back({now, group, router, true});
   return true;
 }
 
 void MRouterDatabase::record_leave(GroupId group, graph::NodeId router,
                                    double now) {
-  const auto it = members_.find(group);
-  if (it != members_.end()) it->second.erase(router);
+  Shard& shard = shard_for(group);
+  const auto it = shard.members.find(group);
+  if (it != shard.members.end()) it->second.erase(router);
   log_.push_back({now, group, router, false});
 }
 
 void MRouterDatabase::record_data_forwarded(GroupId group,
                                             std::uint64_t bytes) {
-  const auto it = active_.find(group);
-  if (it == active_.end()) return;
+  Shard& shard = shard_for(group);
+  const auto it = shard.active.find(group);
+  if (it == shard.active.end()) return;
   ++it->second.data_packets_forwarded;
   it->second.data_bytes_forwarded += bytes;
 }
@@ -69,13 +88,15 @@ void MRouterDatabase::record_data_forwarded(GroupId group,
 const std::set<graph::NodeId>& MRouterDatabase::members_of(
     GroupId group) const {
   static const std::set<graph::NodeId> kEmpty;
-  const auto it = members_.find(group);
-  return it == members_.end() ? kEmpty : it->second;
+  const Shard& shard = shard_for(group);
+  const auto it = shard.members.find(group);
+  return it == shard.members.end() ? kEmpty : it->second;
 }
 
 std::optional<SessionRecord> MRouterDatabase::session(GroupId group) const {
-  const auto it = active_.find(group);
-  if (it != active_.end()) return it->second;
+  const Shard& shard = shard_for(group);
+  const auto it = shard.active.find(group);
+  if (it != shard.active.end()) return it->second;
   for (const auto& rec : ended_)
     if (rec.group == group) return rec;
   return std::nullopt;
@@ -83,7 +104,12 @@ std::optional<SessionRecord> MRouterDatabase::session(GroupId group) const {
 
 std::vector<SessionRecord> MRouterDatabase::all_sessions() const {
   std::vector<SessionRecord> out;
-  for (const auto& [group, rec] : active_) out.push_back(rec);
+  for (const Shard& shard : shards_)
+    for (const auto& [group, rec] : shard.active) out.push_back(rec);
+  std::sort(out.begin(), out.end(),
+            [](const SessionRecord& a, const SessionRecord& b) {
+              return a.group < b.group;
+            });
   out.insert(out.end(), ended_.begin(), ended_.end());
   return out;
 }

@@ -3,6 +3,13 @@
 // membership on-off log the paper calls out for scheduling and
 // accounting/billing. All service-related state the m-router is the sole
 // owner of lives here, queryable by outsiders.
+//
+// Per-group state (session records, member sets) is partitioned into shards
+// keyed by a deterministic group→shard hash so a flash crowd touching many
+// groups keeps each shard's map small and epoch flushes can walk only the
+// shards they touched. Sharding is an internal layout choice: every query
+// merges shards back into group-sorted order, so observable behavior is
+// bit-identical for any shard count (the golden traces pin this).
 #pragma once
 
 #include <cstdint>
@@ -38,6 +45,16 @@ struct MembershipEvent {
 
 class MRouterDatabase {
  public:
+  /// `num_shards` partitions per-group state; must be >= 1. The shard count
+  /// never changes observable results, only map sizes.
+  explicit MRouterDatabase(int num_shards = 1);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Deterministic group→shard hash (Knuth multiplicative; no std::hash,
+  /// whose layout is implementation-defined).
+  std::size_t shard_of(GroupId group) const;
+
   /// Starts a session for `group`, issuing a fresh multicast address.
   /// Idempotent: re-starting an active session returns its address.
   McastAddress start_session(GroupId group, double now);
@@ -48,7 +65,7 @@ class MRouterDatabase {
   bool session_active(GroupId group) const;
   std::optional<McastAddress> address_of(GroupId group) const;
 
-  /// Published view of all active (group, address) bindings.
+  /// Published view of all active (group, address) bindings, group-sorted.
   std::vector<std::pair<GroupId, McastAddress>> published_addresses() const;
 
   /// Records a membership join for accounting/billing. `req` is the JOIN
@@ -70,9 +87,17 @@ class MRouterDatabase {
   int billing_events(graph::NodeId router) const;
 
  private:
-  std::map<GroupId, SessionRecord> active_;
+  /// Per-group state lives in exactly one shard.
+  struct Shard {
+    std::map<GroupId, SessionRecord> active;
+    std::map<GroupId, std::set<graph::NodeId>> members;
+  };
+
+  Shard& shard_for(GroupId group) { return shards_[shard_of(group)]; }
+  const Shard& shard_for(GroupId group) const { return shards_[shard_of(group)]; }
+
+  std::vector<Shard> shards_;
   std::vector<SessionRecord> ended_;
-  std::map<GroupId, std::set<graph::NodeId>> members_;
   std::vector<MembershipEvent> log_;
   std::set<std::uint64_t> seen_join_reqs_;  ///< request uids already billed
   McastAddress next_address_ = 0xE0000100;  // 224.0.1.0 onwards

@@ -27,6 +27,12 @@ void RetxTable::arm(graph::NodeId sender, std::uint64_t req,
   const bool inserted =
       by_sender_[sender].emplace(req, std::move(p)).second;
   SCMP_EXPECTS(inserted && "request uids are never reused");
+  ++live_;
+  if (live_ > pending_hwm_) {
+    pending_hwm_ = live_;
+    static obs::Gauge& hwm = obs::gauge("scmp.retx.pending_hwm");
+    hwm.set(static_cast<double>(pending_hwm_));
+  }
   obs::flight_record(obs::FlightEventKind::kArm, queue_->now(), req, "", -1,
                      sender, -1);
   schedule_timer(sender, req, cfg_.timeout);
@@ -36,6 +42,7 @@ void RetxTable::ack(graph::NodeId sender, std::uint64_t req) {
   const auto sit = by_sender_.find(sender);
   if (sit == by_sender_.end()) return;
   if (sit->second.erase(req) == 0) return;  // duplicate/late ack
+  --live_;
   ++acked_;
   static obs::Counter& acks = obs::counter("scmp.retx.acked");
   acks.inc();
@@ -79,6 +86,7 @@ void RetxTable::schedule_timer(graph::NodeId sender, std::uint64_t req,
       log_debug("retx: sender ", sender, " abandoned request ", req, " after ",
                 p.attempts, " retransmission(s)");
       sit->second.erase(it);
+      --live_;
       if (sit->second.empty()) by_sender_.erase(sit);
       return;
     }

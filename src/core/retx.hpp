@@ -61,6 +61,13 @@ class RetxTable {
   bool pending(graph::NodeId sender, std::uint64_t req) const;
   std::size_t pending_count() const;
 
+  /// Most entries ever simultaneously pending — the table's high-water mark.
+  /// A join storm under loss grows the table to O(in-flight requests); the
+  /// mark (mirrored to the scmp.retx.pending_hwm gauge) bounds that growth
+  /// and regression tests assert the table drains back to zero after
+  /// reconciliation.
+  std::size_t pending_hwm() const { return pending_hwm_; }
+
   // Lifetime totals (plain counters for tests; obs mirrors them).
   std::uint64_t retransmissions() const { return retransmissions_; }
   std::uint64_t acked() const { return acked_; }
@@ -78,6 +85,8 @@ class RetxTable {
   sim::EventQueue* queue_;
   RetxConfig cfg_;
   std::map<graph::NodeId, std::map<std::uint64_t, Pending>> by_sender_;
+  std::size_t live_ = 0;  ///< entries currently pending (all senders)
+  std::size_t pending_hwm_ = 0;
   std::uint64_t req_counter_ = 0;
   std::uint64_t retransmissions_ = 0;
   std::uint64_t acked_ = 0;

@@ -78,8 +78,11 @@ const char* control_name(sim::PacketType t) {
 Scmp::Scmp(sim::Network& net, igmp::IgmpDomain& igmp, Config cfg)
     : MulticastProtocol(net, igmp),
       cfg_(cfg),
+      db_(cfg.db_shards),
       paths_(net.graph()),
-      retx_(net.queue(), cfg.reliability) {
+      retx_(net.queue(), cfg.reliability),
+      epoch_interval_(cfg.epoch_interval) {
+  SCMP_EXPECTS(cfg.epoch_interval >= 0.0);
   mrouters_ = cfg.mrouters.empty()
                   ? std::vector<graph::NodeId>{cfg.mrouter}
                   : cfg.mrouters;
@@ -311,9 +314,17 @@ void Scmp::local_membership_change(GroupId group, bool joined) {
   if (joined) {
     db_.start_session(group, now);
     db_.record_join(group, root, now);
+    if (epoch_enabled()) {
+      epoch_enqueue(group);
+      return;
+    }
     tree_for(group).join(root);
   } else {
     db_.record_leave(group, root, now);
+    if (epoch_enabled()) {
+      epoch_enqueue(group);
+      return;
+    }
     tree_for(group).leave(root);
   }
 }
@@ -334,6 +345,14 @@ void Scmp::mrouter_handle_join(GroupId group, graph::NodeId requester,
                      requester, mrouter_of(group));
   db_.start_session(group, now);
   db_.record_join(group, requester, now, req);
+
+  if (epoch_enabled()) {
+    // Batched mode: the database record above keeps billing / dedup /
+    // session semantics identical, but the tree work is deferred to the
+    // epoch close where the group gets one net-resolved recomputation.
+    epoch_enqueue(group);
+    return;
+  }
 
   DcdmTree& t = tree_for(group);
 
@@ -405,7 +424,11 @@ void Scmp::mrouter_handle_leave(GroupId group, graph::NodeId requester) {
                      obs::current_cause(), "LEAVE", group, requester,
                      mrouter_of(group));
   db_.record_leave(group, requester, net().now());
-  tree_for(group).leave(requester);
+  if (epoch_enabled()) {
+    epoch_enqueue(group);
+  } else {
+    tree_for(group).leave(requester);
+  }
   // The physical prune travels hop-by-hop from the leaving DR (§III-C); the
   // m-router only updates its authoritative copy.
 
@@ -697,6 +720,65 @@ void Scmp::start_reconciliation(double interval, double horizon) {
   });
 }
 
+// ---------------------------------------------------------------------------
+// Epoch-batched membership pipeline: a flash crowd of JOIN/LEAVE arrivals is
+// coalesced per epoch — O(epochs × touched groups) DCDM recomputations
+// instead of O(events) — and installed with one versioned wave per group
+// (the nox mcrouteinstaller pattern: coalesce, recompute once, install).
+// ---------------------------------------------------------------------------
+
+void Scmp::set_epoch_interval(double seconds) {
+  SCMP_EXPECTS(seconds >= 0.0);
+  epoch_interval_ = seconds;
+}
+
+void Scmp::epoch_enqueue(GroupId group) {
+  static obs::Counter& deferred = obs::counter("scmp.epoch.deferred");
+  deferred.inc();
+  epoch_touched_.insert(group);
+  if (epoch_flush_scheduled_) return;
+  // One-shot close, scheduled only while work is pending: the event queue
+  // stays drainable (a periodic tick would never let run_all terminate), and
+  // a drained queue implies every deferred membership change was flushed.
+  epoch_flush_scheduled_ = true;
+  net().queue().schedule_in(epoch_interval_, [this]() { flush_epoch(); });
+}
+
+void Scmp::flush_epoch() {
+  OBS_SPAN("scmp.epoch.flush");
+  static obs::Counter& flushes = obs::counter("scmp.epoch.flushes");
+  static obs::Counter& recomputes = obs::counter("scmp.epoch.recomputes");
+  static obs::Counter& coalesced = obs::counter("scmp.epoch.coalesced");
+  epoch_flush_scheduled_ = false;
+  if (epoch_touched_.empty()) return;
+  flushes.inc();
+  // std::set iteration = ascending group order: the batch handed to
+  // rebuild_trees is deterministic regardless of arrival interleaving.
+  std::vector<GroupId> changed;
+  changed.reserve(epoch_touched_.size());
+  for (GroupId group : epoch_touched_) {
+    if (!db_.session_active(group) && !trees_.contains(group))
+      continue;  // session ended mid-epoch (idle expiry raced the close)
+    // Net resolution: a member that joined and left (or left and rejoined)
+    // within the epoch cancels out. Only groups whose database membership
+    // differs from the authoritative tree's member set need a recomputation.
+    const auto& want = db_.members_of(group);
+    const std::vector<graph::NodeId> have = tree_for(group).tree().members();
+    if (std::equal(have.begin(), have.end(), want.begin(), want.end())) {
+      coalesced.inc();
+      continue;
+    }
+    changed.push_back(group);
+  }
+  epoch_touched_.clear();
+  if (changed.empty()) return;
+  recomputes.inc(static_cast<std::uint64_t>(changed.size()));
+  // One DCDM recomputation and one versioned install wave per net-changed
+  // group, in parallel across groups when a pool is registered. Arrivals
+  // during the wave open a fresh epoch.
+  rebuild_trees(changed, pool_);
+}
+
 void Scmp::rebuild_trees(const std::vector<GroupId>& groups,
                          const TreeComputePool* pool) {
   OBS_SPAN("scmp.rebuild");
@@ -780,16 +862,37 @@ void Scmp::fail_over(graph::NodeId failed, graph::NodeId standby,
   rebuild_trees(affected, pool);
 }
 
+std::vector<GroupId> Scmp::rebuild_candidates() const {
+  static obs::Counter& skipped = obs::counter("scmp.rebuild.skipped_empty");
+  std::vector<GroupId> out;
+  out.reserve(trees_.size());
+  for (const auto& [group, tree] : trees_) {
+    // A memberless session whose tree is already bare (root-only) has
+    // nothing a topology change can invalidate: no tree edges, no installed
+    // state the rebuild's install wave would touch. Rebuilding it anyway
+    // wastes a DCDM run and emits empty-tree install traffic (anti-entropy
+    // CLEARs to every ever-installed router). The tree-size check keeps the
+    // guard precise in batched mode, where a group can be memberless in the
+    // database while its tree still awaits the epoch flush.
+    if (db_.members_of(group).empty() && tree.tree().tree_size() == 1) {
+      skipped.inc();
+      continue;
+    }
+    out.push_back(group);
+  }
+  return out;
+}
+
 void Scmp::on_topology_change() {
   OBS_SPAN("scmp.topology_change");
   // The m-routers' link-state view reconverged: refresh the global path
   // database (P_sl / P_lc) — on the registered compute pool's workers when
   // one is set (one source per task) — then recompute and reinstall every
-  // group tree.
+  // group tree with live membership.
   paths_.rebuild(net().graph(),
                  pool_ != nullptr ? pool_->parallel_for()
                                   : graph::ParallelFor{});
-  rebuild_trees(active_groups(), pool_);
+  rebuild_trees(rebuild_candidates(), pool_);
 }
 
 int Scmp::handle_link_event(graph::NodeId u, graph::NodeId v) {
@@ -800,7 +903,7 @@ int Scmp::handle_link_event(graph::NodeId u, graph::NodeId v) {
   const int recomputed = paths_.apply_link_event(
       net().graph(), u, v,
       pool_ != nullptr ? pool_->parallel_for() : graph::ParallelFor{});
-  rebuild_trees(active_groups(), pool_);
+  rebuild_trees(rebuild_candidates(), pool_);
   return recomputed;
 }
 

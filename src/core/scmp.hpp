@@ -50,6 +50,20 @@ class Scmp final : public proto::MulticastProtocol {
     /// src/core/retx.hpp). Off by default: every control packet stream stays
     /// bit-identical to the fire-and-forget protocol.
     RetxConfig reliability;
+    /// Epoch-batched membership: when > 0, JOIN/LEAVE arrivals at an
+    /// anchoring m-router are recorded in the service database immediately
+    /// (billing, dedup and session lifecycle are unchanged) but the DCDM /
+    /// install work is deferred to the close of the current epoch, this many
+    /// simulated seconds after the first deferred arrival. At the close every
+    /// touched group is net-resolved (a member that joined and left within
+    /// one epoch cancels out) and net-changed groups get exactly one DCDM
+    /// recomputation plus one versioned install wave. 0 (the default) keeps
+    /// the per-request path bit-identical to the pre-epoch protocol.
+    double epoch_interval = 0.0;
+    /// Service-database shard count (deterministic group→shard hash; see
+    /// MRouterDatabase). Internal layout only — observable behavior is
+    /// identical for any value >= 1.
+    int db_shards = 8;
   };
 
   Scmp(sim::Network& net, igmp::IgmpDomain& igmp, Config cfg);
@@ -117,6 +131,16 @@ class Scmp final : public proto::MulticastProtocol {
   /// service requirements): a session whose membership stays empty for
   /// `idle_seconds` is ended automatically. 0 disables the policy (default).
   void set_session_idle_expiry(double idle_seconds);
+
+  /// Reconfigures Config::epoch_interval at runtime (seconds of simulated
+  /// time; 0 reverts to the per-request path). Applies from the next
+  /// membership arrival; an already-scheduled epoch close still fires.
+  void set_epoch_interval(double seconds);
+  double epoch_interval() const { return epoch_interval_; }
+  /// Groups touched in the currently open epoch. Zero whenever the event
+  /// queue is drained: every deferred arrival schedules an epoch-close
+  /// event, so run-to-quiescence always flushes.
+  std::size_t epoch_pending() const { return epoch_touched_.size(); }
 
   /// Models the m-router's internal transit (switching fabric stages plus
   /// any scheduling): when set, data an anchoring m-router forwards is held
@@ -221,6 +245,22 @@ class Scmp final : public proto::MulticastProtocol {
   /// membership database, clears stale installed state and reinstalls.
   void rebuild_trees(const std::vector<GroupId>& groups,
                      const TreeComputePool* pool);
+  /// active_groups() minus memberless sessions whose tree is already bare
+  /// (root-only) — the groups a topology change can actually affect.
+  /// Skipped groups are counted in scmp.rebuild.skipped_empty: rebuilding
+  /// them would waste a DCDM run and emit empty-tree install traffic.
+  std::vector<GroupId> rebuild_candidates() const;
+
+  // Epoch-batched membership pipeline (Config::epoch_interval > 0).
+  bool epoch_enabled() const { return epoch_interval_ > 0.0; }
+  /// Marks `group` touched in the open epoch and schedules the one-shot
+  /// epoch-close event when none is outstanding.
+  void epoch_enqueue(GroupId group);
+  /// Epoch close: net-resolves every touched group against the service
+  /// database and gives each net-changed group one DCDM recomputation and
+  /// one versioned install wave (rebuild_trees, parallel on the registered
+  /// compute pool).
+  void flush_epoch();
   void local_membership_change(GroupId group, bool joined);
   /// Starts a new install operation for the group and returns its version.
   std::uint64_t next_install_version(GroupId group) {
@@ -283,6 +323,10 @@ class Scmp final : public proto::MulticastProtocol {
   const TreeComputePool* pool_ = nullptr;
   TransitModel transit_model_;
   double session_idle_expiry_ = 0.0;  ///< 0 = sessions never auto-expire
+  double epoch_interval_ = 0.0;       ///< 0 = per-request (no batching)
+  /// Groups with membership changes recorded but tree work still deferred.
+  std::set<GroupId> epoch_touched_;
+  bool epoch_flush_scheduled_ = false;
 };
 
 }  // namespace scmp::core

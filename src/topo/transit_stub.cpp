@@ -1,0 +1,226 @@
+#include "topo/transit_stub.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace scmp::topo {
+
+namespace {
+
+/// Manhattan cost clamped away from zero so coincident placements never
+/// produce a zero-cost link (the dual-weight path model divides by cost).
+double edge_cost(const Point& a, const Point& b) {
+  return static_cast<double>(std::max(manhattan(a, b), 1));
+}
+
+void add_ts_edge(graph::Graph& g, const std::vector<Point>& coords,
+                 graph::NodeId u, graph::NodeId v, Rng& rng) {
+  const double cost = edge_cost(coords[static_cast<std::size_t>(u)],
+                                coords[static_cast<std::size_t>(v)]);
+  g.add_edge(u, v, rng.uniform_real(0.0, cost), cost);
+}
+
+int clamp_coord(int value, int grid) { return std::clamp(value, 0, grid); }
+
+/// A random point within `radius` (Chebyshev) of `center`, clamped to grid.
+Point jitter(const Point& center, int radius, int grid, Rng& rng) {
+  Point p;
+  p.x = clamp_coord(
+      center.x + static_cast<int>(rng.uniform_int(-radius, radius)), grid);
+  p.y = clamp_coord(
+      center.y + static_cast<int>(rng.uniform_int(-radius, radius)), grid);
+  return p;
+}
+
+/// Random mesh over `domain` (each pair with probability `p`), then repaired
+/// to intra-domain connectivity by joining closest cross-component pairs —
+/// the subset analogue of the Waxman generator's repair.
+void build_domain_mesh(graph::Graph& g, const std::vector<Point>& coords,
+                       const std::vector<graph::NodeId>& domain, double p,
+                       Rng& rng) {
+  const std::size_t k = domain.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      if (rng.chance(p)) add_ts_edge(g, coords, domain[i], domain[j], rng);
+    }
+  }
+
+  // Union-find-free component labeling restricted to the domain's nodes.
+  std::vector<int> comp(k, -1);
+  auto label = [&]() {
+    std::fill(comp.begin(), comp.end(), -1);
+    auto index_of = [&](graph::NodeId v) {
+      const auto it = std::find(domain.begin(), domain.end(), v);
+      return it == domain.end()
+                 ? static_cast<std::size_t>(-1)
+                 : static_cast<std::size_t>(it - domain.begin());
+    };
+    int next = 0;
+    for (std::size_t s = 0; s < k; ++s) {
+      if (comp[s] != -1) continue;
+      std::vector<std::size_t> stack{s};
+      comp[s] = next;
+      while (!stack.empty()) {
+        const std::size_t u = stack.back();
+        stack.pop_back();
+        for (const auto& nb : g.neighbors(domain[u])) {
+          const std::size_t t = index_of(nb.to);
+          if (t != static_cast<std::size_t>(-1) && comp[t] == -1) {
+            comp[t] = next;
+            stack.push_back(t);
+          }
+        }
+      }
+      ++next;
+    }
+    return next;
+  };
+
+  while (label() > 1) {
+    std::size_t best_i = 0, best_j = 0;
+    long best_d = std::numeric_limits<long>::max();
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = i + 1; j < k; ++j) {
+        if (comp[i] == comp[j]) continue;
+        const long d =
+            manhattan(coords[static_cast<std::size_t>(domain[i])],
+                      coords[static_cast<std::size_t>(domain[j])]);
+        if (d < best_d) {
+          best_d = d;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    add_ts_edge(g, coords, domain[best_i], domain[best_j], rng);
+  }
+}
+
+}  // namespace
+
+Topology transit_stub(const TransitStubConfig& cfg, Rng& rng) {
+  SCMP_EXPECTS(cfg.transit_domains >= 1 && cfg.transit_nodes >= 1);
+  SCMP_EXPECTS(cfg.stub_domains_per_node >= 0 && cfg.stub_nodes >= 1);
+  SCMP_EXPECTS(cfg.transit_edge_prob >= 0.0 && cfg.transit_edge_prob <= 1.0);
+  SCMP_EXPECTS(cfg.stub_edge_prob >= 0.0 && cfg.stub_edge_prob <= 1.0);
+  SCMP_EXPECTS(cfg.grid >= 1);
+  SCMP_EXPECTS(total_nodes(cfg) >= 2);
+
+  const int n = total_nodes(cfg);
+  Topology topo;
+  topo.name = "transit-stub-t" + std::to_string(cfg.transit_domains) + "x" +
+              std::to_string(cfg.transit_nodes) + "-s" +
+              std::to_string(cfg.stub_domains_per_node) + "x" +
+              std::to_string(cfg.stub_nodes);
+  topo.graph = graph::Graph(n);
+  topo.coords.resize(static_cast<std::size_t>(n));
+
+  // Transit domain centers: one per cell of a near-square partition of the
+  // grid, so domains are well separated and inter-domain links are the long
+  // expensive ones (the GT-ITM shape).
+  const int cols = static_cast<int>(
+      std::ceil(std::sqrt(static_cast<double>(cfg.transit_domains))));
+  const int rows = (cfg.transit_domains + cols - 1) / cols;
+  const int cell_w = cfg.grid / cols;
+  const int cell_h = cfg.grid / rows;
+  std::vector<Point> centers(static_cast<std::size_t>(cfg.transit_domains));
+  for (int d = 0; d < cfg.transit_domains; ++d) {
+    const int cx = (d % cols) * cell_w;
+    const int cy = (d / cols) * cell_h;
+    centers[static_cast<std::size_t>(d)].x = clamp_coord(
+        cx + cell_w / 4 +
+            static_cast<int>(rng.uniform_int(0, std::max(cell_w / 2, 1))),
+        cfg.grid);
+    centers[static_cast<std::size_t>(d)].y = clamp_coord(
+        cy + cell_h / 4 +
+            static_cast<int>(rng.uniform_int(0, std::max(cell_h / 2, 1))),
+        cfg.grid);
+  }
+
+  // Place transit nodes (ids [0, T*Nt), domain-major) around their centers.
+  const int transit_radius = std::max(cfg.grid / 10, 1);
+  for (int d = 0; d < cfg.transit_domains; ++d) {
+    for (int i = 0; i < cfg.transit_nodes; ++i) {
+      const int id = d * cfg.transit_nodes + i;
+      topo.coords[static_cast<std::size_t>(id)] =
+          jitter(centers[static_cast<std::size_t>(d)], transit_radius,
+                 cfg.grid, rng);
+    }
+  }
+
+  // Place stub nodes, grouped by stub domain, each domain tight around its
+  // anchoring transit node.
+  const int stub_center_radius = std::max(cfg.grid / 16, 1);
+  const int stub_radius = std::max(cfg.grid / 40, 1);
+  int next_id = num_transit_nodes(cfg);
+  for (int t = 0; t < num_transit_nodes(cfg); ++t) {
+    for (int s = 0; s < cfg.stub_domains_per_node; ++s) {
+      const Point stub_center = jitter(topo.coords[static_cast<std::size_t>(t)],
+                                       stub_center_radius, cfg.grid, rng);
+      for (int i = 0; i < cfg.stub_nodes; ++i) {
+        topo.coords[static_cast<std::size_t>(next_id + i)] =
+            jitter(stub_center, stub_radius, cfg.grid, rng);
+      }
+      next_id += cfg.stub_nodes;
+    }
+  }
+  SCMP_ASSERT(next_id == n);
+
+  // Intra-transit-domain meshes.
+  for (int d = 0; d < cfg.transit_domains; ++d) {
+    std::vector<graph::NodeId> domain;
+    domain.reserve(static_cast<std::size_t>(cfg.transit_nodes));
+    for (int i = 0; i < cfg.transit_nodes; ++i)
+      domain.push_back(d * cfg.transit_nodes + i);
+    build_domain_mesh(topo.graph, topo.coords, domain, cfg.transit_edge_prob,
+                      rng);
+  }
+
+  // One closest-pair edge between every pair of transit domains: the
+  // backbone stays connected and inter-domain paths pay the long haul.
+  for (int a = 0; a < cfg.transit_domains; ++a) {
+    for (int b = a + 1; b < cfg.transit_domains; ++b) {
+      int best_u = -1, best_v = -1;
+      long best_d = std::numeric_limits<long>::max();
+      for (int i = 0; i < cfg.transit_nodes; ++i) {
+        for (int j = 0; j < cfg.transit_nodes; ++j) {
+          const int u = a * cfg.transit_nodes + i;
+          const int v = b * cfg.transit_nodes + j;
+          const long d = manhattan(topo.coords[static_cast<std::size_t>(u)],
+                                   topo.coords[static_cast<std::size_t>(v)]);
+          if (d < best_d) {
+            best_d = d;
+            best_u = u;
+            best_v = v;
+          }
+        }
+      }
+      add_ts_edge(topo.graph, topo.coords, best_u, best_v, rng);
+    }
+  }
+
+  // Stub domains: intra-domain mesh plus one gateway edge from a random
+  // stub router to the anchoring transit node.
+  int stub_base = num_transit_nodes(cfg);
+  for (int t = 0; t < num_transit_nodes(cfg); ++t) {
+    for (int s = 0; s < cfg.stub_domains_per_node; ++s) {
+      std::vector<graph::NodeId> domain;
+      domain.reserve(static_cast<std::size_t>(cfg.stub_nodes));
+      for (int i = 0; i < cfg.stub_nodes; ++i) domain.push_back(stub_base + i);
+      build_domain_mesh(topo.graph, topo.coords, domain, cfg.stub_edge_prob,
+                        rng);
+      const graph::NodeId gateway = domain[static_cast<std::size_t>(
+          rng.uniform_int(0, cfg.stub_nodes - 1))];
+      add_ts_edge(topo.graph, topo.coords, gateway, t, rng);
+      stub_base += cfg.stub_nodes;
+    }
+  }
+
+  SCMP_ENSURES(topo.graph.is_connected());
+  return topo;
+}
+
+}  // namespace scmp::topo

@@ -1,0 +1,55 @@
+// Hierarchical transit-stub topologies after GT-ITM (Zegura/Calvert/
+// Bhattacharjee, INFOCOM 1996) — the Internet-like model the paper's §IV
+// simulation family comes from, alongside the flat Waxman generator:
+//
+//   * `transit_domains` well-separated transit (backbone) domains, each with
+//     `transit_nodes` routers placed around the domain's grid cell;
+//   * every transit node anchors `stub_domains_per_node` stub domains of
+//     `stub_nodes` routers each, placed tightly around their transit node;
+//   * dense random intra-domain meshes (repaired to connectivity), one
+//     gateway edge per stub domain, and one closest-pair edge between every
+//     pair of transit domains;
+//   * the cost/delay model matches Waxman/ARPANET: cost = Manhattan distance
+//     (>= 1), delay = Uniform(0, cost).
+//
+// Node ids are layered: transit nodes occupy [0, num_transit_nodes()), in
+// domain-major order, followed by stub nodes grouped by their stub domain.
+// Placing m-routers on transit nodes therefore needs no extra bookkeeping.
+//
+// Fully deterministic from the seeded Rng (determinism lint covers src/topo).
+#pragma once
+
+#include "topo/waxman.hpp"
+#include "util/rng.hpp"
+
+namespace scmp::topo {
+
+struct TransitStubConfig {
+  int transit_domains = 2;
+  int transit_nodes = 4;  ///< routers per transit domain
+  int stub_domains_per_node = 2;
+  int stub_nodes = 4;  ///< routers per stub domain
+  /// Intra-domain edge probabilities (GT-ITM's defaults are dense transit
+  /// meshes and sparser stubs); connectivity is repaired either way.
+  double transit_edge_prob = 0.6;
+  double stub_edge_prob = 0.42;
+  int grid = 32767;  ///< coordinate range [0, grid]
+};
+
+/// Transit routers in the generated topology (ids [0, num_transit_nodes())).
+inline int num_transit_nodes(const TransitStubConfig& cfg) {
+  return cfg.transit_domains * cfg.transit_nodes;
+}
+
+inline int num_stub_nodes(const TransitStubConfig& cfg) {
+  return num_transit_nodes(cfg) * cfg.stub_domains_per_node * cfg.stub_nodes;
+}
+
+inline int total_nodes(const TransitStubConfig& cfg) {
+  return num_transit_nodes(cfg) + num_stub_nodes(cfg);
+}
+
+/// Generates a connected transit-stub topology.
+Topology transit_stub(const TransitStubConfig& cfg, Rng& rng);
+
+}  // namespace scmp::topo

@@ -1,0 +1,115 @@
+#include "topo/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace scmp::topo {
+
+namespace {
+
+/// Stable time sort: ties keep generation order, so the applied sequence is
+/// deterministic even when two events share a timestamp.
+void sort_by_time(std::vector<MemberEvent>& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const MemberEvent& a, const MemberEvent& b) {
+                     return a.time < b.time;
+                   });
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(int n, double exponent) {
+  SCMP_EXPECTS(n >= 1);
+  SCMP_EXPECTS(exponent >= 0.0);
+  cdf_.resize(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (int k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[static_cast<std::size_t>(k)] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+int ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int>(it - cdf_.begin());
+}
+
+std::vector<MemberEvent> zipf_churn(const ZipfChurnConfig& cfg,
+                                    int num_routers, Rng& rng) {
+  SCMP_EXPECTS(num_routers >= 1);
+  SCMP_EXPECTS(cfg.num_groups >= 1 && cfg.num_events >= 0);
+  SCMP_EXPECTS(cfg.horizon > cfg.start);
+  SCMP_EXPECTS(cfg.leave_fraction >= 0.0 && cfg.leave_fraction <= 1.0);
+
+  const ZipfSampler groups(cfg.num_groups, cfg.zipf_exponent);
+  std::vector<MemberEvent> events;
+  events.reserve(static_cast<std::size_t>(cfg.num_events));
+  std::vector<MemberEvent> live;  // joins without a matching leave yet
+  int next_id = 0;                // fresh (iface, host) per join
+  for (int i = 0; i < cfg.num_events; ++i) {
+    const bool leave = !live.empty() && rng.chance(cfg.leave_fraction);
+    if (leave) {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      MemberEvent ev = live[idx];
+      // Drawn within [join time, horizon): a leave never precedes its join,
+      // and the stable time sort keeps the pair ordered on ties (the join
+      // was generated first).
+      ev.time = rng.uniform_real(ev.time, cfg.horizon);
+      ev.join = false;
+      live[idx] = live.back();
+      live.pop_back();
+      events.push_back(ev);
+    } else {
+      MemberEvent ev;
+      ev.time = rng.uniform_real(cfg.start, cfg.horizon);
+      ev.group = groups.sample(rng);
+      ev.router = static_cast<graph::NodeId>(
+          rng.uniform_int(0, num_routers - 1));
+      ev.iface = next_id;
+      ev.host = next_id;
+      ++next_id;
+      ev.join = true;
+      live.push_back(ev);
+      events.push_back(ev);
+    }
+  }
+  sort_by_time(events);
+  return events;
+}
+
+std::vector<MemberEvent> flash_crowd(const FlashCrowdConfig& cfg,
+                                     int num_routers, Rng& rng) {
+  SCMP_EXPECTS(num_routers >= 1);
+  SCMP_EXPECTS(cfg.num_groups >= 1 && cfg.crowd >= 0);
+  SCMP_EXPECTS(cfg.window > 0.0);
+
+  std::vector<MemberEvent> events;
+  events.reserve(static_cast<std::size_t>(cfg.crowd) * (cfg.depart ? 2 : 1));
+  for (int i = 0; i < cfg.crowd; ++i) {
+    MemberEvent ev;
+    ev.time = rng.uniform_real(cfg.start, cfg.start + cfg.window);
+    ev.group = static_cast<int>(rng.uniform_int(0, cfg.num_groups - 1));
+    ev.router =
+        static_cast<graph::NodeId>(rng.uniform_int(0, num_routers - 1));
+    ev.iface = i;
+    ev.host = i;
+    ev.join = true;
+    events.push_back(ev);
+    if (cfg.depart) {
+      MemberEvent leave = ev;
+      leave.time = ev.time + cfg.window;  // departs one window later
+      leave.join = false;
+      events.push_back(leave);
+    }
+  }
+  sort_by_time(events);
+  return events;
+}
+
+}  // namespace scmp::topo

@@ -1,0 +1,79 @@
+// Membership workload generators for the scale experiments the ROADMAP
+// targets (10⁴ groups, 10⁵–10⁶ member events): a Zipf-popularity churn
+// stream (a few hot services take most of the membership traffic, the long
+// tail stays cold) and a flash-crowd burst (a storm of joins over a short
+// window — the regime that separates per-request from epoch-batched
+// control planes).
+//
+// Generators only produce timestamped event lists; the driver (bench or
+// test) applies them through the protocol's host_join/host_leave surface.
+// Every event carries a fresh (iface, host) pair so each one is a real
+// designated-router membership transition at the IGMP layer, while the
+// m-router still sees one JOIN per (router, group) — exactly the paper's
+// aggregation semantics.
+//
+// Fully deterministic from the seeded Rng (determinism lint covers
+// src/topo).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace scmp::topo {
+
+struct MemberEvent {
+  double time = 0.0;
+  int group = 0;
+  graph::NodeId router = 0;
+  int iface = 0;
+  int host = 0;
+  bool join = true;  ///< false = leave of a previously generated join
+};
+
+/// Zipf(s) sampler over ranks [0, n): P(k) ∝ 1 / (k+1)^s, drawn by CDF
+/// inversion over precomputed cumulative weights. s = 0 is uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double exponent);
+
+  int n() const { return static_cast<int>(cdf_.size()); }
+  int sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;  ///< normalized cumulative weights
+};
+
+struct ZipfChurnConfig {
+  int num_groups = 1000;
+  double zipf_exponent = 1.0;  ///< group-popularity skew
+  int num_events = 100000;
+  double start = 0.0;
+  double horizon = 100.0;      ///< event times uniform in [start, horizon)
+  double leave_fraction = 0.3; ///< target fraction of leave events
+};
+
+/// Churn stream: each event joins a Zipf-popular group at a uniform router,
+/// or (with probability `leave_fraction`, when members exist) leaves a
+/// uniformly chosen live membership. Events are returned time-sorted.
+std::vector<MemberEvent> zipf_churn(const ZipfChurnConfig& cfg,
+                                    int num_routers, Rng& rng);
+
+struct FlashCrowdConfig {
+  int num_groups = 16;    ///< the crowd spreads over this many hot groups
+  int crowd = 10000;      ///< join events in the burst
+  double start = 1.0;
+  double window = 5.0;    ///< joins uniform in [start, start + window)
+  /// When true, every join is mirrored by a leave in a second window of the
+  /// same length directly after the first (the crowd departs as fast as it
+  /// arrived).
+  bool depart = false;
+};
+
+/// Flash crowd: `crowd` joins uniform over the window, groups and routers
+/// uniform. Events are returned time-sorted.
+std::vector<MemberEvent> flash_crowd(const FlashCrowdConfig& cfg,
+                                     int num_routers, Rng& rng);
+
+}  // namespace scmp::topo

@@ -1,7 +1,7 @@
 // Trace artifact grammar (line-oriented, '#' starts a comment line):
 //
 //   scmp-churn-trace v1
-//   topo <arpanet|waxman>
+//   topo <arpanet|waxman|transit-stub>
 //   topo-seed <u64>
 //   waxman-nodes <int>
 //   waxman-degree <double>
@@ -11,6 +11,7 @@
 //   audit-stride <int>
 //   fault <packet-type> <every-nth>        (absent when no fault injected)
 //   loss <rate> <seed>                     (absent when control loss is off)
+//   epoch <interval>                       (absent when batching is off)
 //   events <count>
 //   join g<group> n<node>                  (one line per event, in order)
 //   leave g<group> n<node>
@@ -26,6 +27,7 @@
 #include <fstream>
 #include <limits>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -36,6 +38,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
 #include "topo/arpanet.hpp"
+#include "topo/transit_stub.hpp"
 #include "topo/waxman.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
@@ -47,6 +50,17 @@ namespace {
 topo::Topology build_topology(const ChurnConfig& cfg) {
   Rng rng(cfg.topo_seed);
   if (cfg.topo == ChurnTopo::kArpanet) return topo::arpanet(rng);
+  if (cfg.topo == ChurnTopo::kTransitStub) {
+    // Churn-sized hierarchical topology: 2 transit domains of 3 routers,
+    // 2 stub domains of 4 routers per transit node — 54 nodes, the same
+    // order as the Waxman runs but with the GT-ITM backbone/stub shape.
+    topo::TransitStubConfig tcfg;
+    tcfg.transit_domains = 2;
+    tcfg.transit_nodes = 3;
+    tcfg.stub_domains_per_node = 2;
+    tcfg.stub_nodes = 4;
+    return topo::transit_stub(tcfg, rng);
+  }
   return topo::waxman_with_degree(cfg.waxman_nodes, cfg.waxman_degree, rng);
 }
 
@@ -78,6 +92,8 @@ struct World {
     core::Scmp::Config scfg;
     scfg.mrouter = 0;
     SCMP_EXPECTS(cfg.control_loss_rate >= 0.0 && cfg.control_loss_rate < 1.0);
+    SCMP_EXPECTS(cfg.epoch_interval >= 0.0);
+    scfg.epoch_interval = cfg.epoch_interval;
     const double loss = cfg.control_loss_rate;
     if (loss > 0.0) scfg.reliability.enabled = true;
     scmp = std::make_unique<core::Scmp>(*net, *igmp, scfg);
@@ -207,6 +223,24 @@ std::vector<ChurnEvent> ChurnModelChecker::generate() const {
 CheckOutcome ChurnModelChecker::replay(
     const std::vector<ChurnEvent>& events) const {
   World w(cfg_);
+  // Epoch-equivalence differential check: a batched run (epoch_interval > 0)
+  // drags a sequential shadow world (identical config, interval 0) through
+  // the same event sequence. At every audit point — both worlds drained and
+  // reconciled to their fixpoints — batched and sequential must agree on the
+  // service database's membership and on each tree's member set, and the
+  // shadow must pass the full invariant catalog itself. The *internal* tree
+  // shapes may legitimately differ: per-request processing grafts members in
+  // arrival order onto a tree carrying relay residue of past members, while
+  // the epoch close recomputes canonically from the final membership.
+  std::unique_ptr<World> shadow;
+  std::unique_ptr<InvariantAuditor> shadow_auditor;
+  if (cfg_.epoch_interval > 0.0) {
+    ChurnConfig seq = cfg_;
+    seq.epoch_interval = 0.0;
+    seq.track_convergence = false;
+    shadow = std::make_unique<World>(seq);
+    shadow_auditor = std::make_unique<InvariantAuditor>(*shadow->scmp);
+  }
   const InvariantAuditor auditor(*w.scmp);
   CheckOutcome outcome;
 
@@ -217,14 +251,51 @@ CheckOutcome ChurnModelChecker::replay(
   // one finds nothing to repair. The pass budget only bounds pathological
   // luck; a genuinely broken protocol never reaches the fixpoint and the
   // audit below reports exactly what stayed divergent.
-  auto reconcile_to_fixpoint = [&] {
+  auto reconcile_to_fixpoint = [&](World& world) {
     if (cfg_.control_loss_rate <= 0.0) return;
     constexpr int kMaxPasses = 64;
     for (int pass = 0; pass < kMaxPasses; ++pass) {
-      const int repairs = w.scmp->reconcile_all();
-      w.queue.run_all();
+      const int repairs = world.scmp->reconcile_all();
+      world.queue.run_all();
       if (repairs == 0) return;
     }
+  };
+
+  // The equivalence contract both worlds must satisfy at a fixpoint.
+  auto equivalence_violations = [&]() {
+    std::vector<Violation> found;
+    if (shadow == nullptr) return found;
+    std::set<GroupId> groups;
+    for (GroupId g : w.scmp->active_groups()) groups.insert(g);
+    for (GroupId g : shadow->scmp->active_groups()) groups.insert(g);
+    for (GroupId g : groups) {
+      if (w.scmp->database().members_of(g) !=
+          shadow->scmp->database().members_of(g)) {
+        found.push_back(
+            {"epoch-equivalence",
+             "group " + std::to_string(g) +
+                 ": database membership diverged between the batched and "
+                 "sequential worlds"});
+      }
+      const core::DcdmTree* bt = w.scmp->group_tree(g);
+      const core::DcdmTree* st = shadow->scmp->group_tree(g);
+      const std::vector<graph::NodeId> bm =
+          bt == nullptr ? std::vector<graph::NodeId>{} : bt->tree().members();
+      const std::vector<graph::NodeId> sm =
+          st == nullptr ? std::vector<graph::NodeId>{} : st->tree().members();
+      if (bm != sm) {
+        found.push_back(
+            {"epoch-equivalence",
+             "group " + std::to_string(g) +
+                 ": tree member sets diverged between the batched and "
+                 "sequential worlds"});
+      }
+    }
+    for (Violation v : shadow_auditor->audit()) {
+      v.detail = "[sequential shadow] " + v.detail;
+      found.push_back(std::move(v));
+    }
+    return found;
   };
 
   auto audit_at = [&](int index) {
@@ -233,6 +304,8 @@ CheckOutcome ChurnModelChecker::replay(
     // audit_seconds only; no protocol decision or trace output reads it)
     const auto t0 = std::chrono::steady_clock::now();
     outcome.violations = auditor.audit();
+    for (Violation& v : equivalence_violations())
+      outcome.violations.push_back(std::move(v));
     outcome.audit_seconds +=
         // determinism: allow(wall-clock measurement of audit cost, reported
         // in audit_seconds only; no protocol decision or trace output reads
@@ -257,11 +330,19 @@ CheckOutcome ChurnModelChecker::replay(
   for (std::size_t i = 0; i < events.size(); ++i) {
     if (apply(w, events[i])) ++outcome.executed;
     w.queue.run_all();  // drain to quiescence: audits are only valid here
+    if (shadow != nullptr) {
+      // The shadow's applicability guards agree with the main world's (both
+      // graphs evolve identically from the same topo seed), so the executed
+      // sequences match.
+      apply(*shadow, events[i]);
+      shadow->queue.run_all();
+    }
     obs::timeseries().maybe_sample(w.queue.now());
     const bool stride_hit =
         (i + 1) % static_cast<std::size_t>(cfg_.audit_stride) == 0;
     if (stride_hit || i + 1 == events.size()) {
-      reconcile_to_fixpoint();
+      reconcile_to_fixpoint(w);
+      if (shadow != nullptr) reconcile_to_fixpoint(*shadow);
       if (!audit_at(static_cast<int>(i))) {
         finalize();
         return outcome;
@@ -359,7 +440,10 @@ std::string serialize(const TraceArtifact& trace) {
   const ChurnConfig& cfg = trace.config;
   std::ostringstream out;
   out << "scmp-churn-trace v1\n";
-  out << "topo " << (cfg.topo == ChurnTopo::kArpanet ? "arpanet" : "waxman")
+  out << "topo "
+      << (cfg.topo == ChurnTopo::kArpanet      ? "arpanet"
+          : cfg.topo == ChurnTopo::kTransitStub ? "transit-stub"
+                                                : "waxman")
       << "\n";
   out << "topo-seed " << cfg.topo_seed << "\n";
   out << "waxman-nodes " << cfg.waxman_nodes << "\n";
@@ -376,6 +460,13 @@ std::string serialize(const TraceArtifact& trace) {
     const auto old_precision =
         out.precision(std::numeric_limits<double>::max_digits10);
     out << "loss " << cfg.control_loss_rate << " " << cfg.loss_seed << "\n";
+    out.precision(old_precision);
+  }
+  if (cfg.epoch_interval > 0.0) {
+    // max_digits10 so the replayed epoch close lands at the bit-exact time.
+    const auto old_precision =
+        out.precision(std::numeric_limits<double>::max_digits10);
+    out << "epoch " << cfg.epoch_interval << "\n";
     out.precision(old_precision);
   }
   out << "events " << trace.events.size() << "\n";
@@ -406,9 +497,11 @@ TraceArtifact deserialize(const std::string& text) {
     if (key == "topo") {
       std::string name;
       ls >> name;
-      SCMP_EXPECTS(name == "arpanet" || name == "waxman");
-      trace.config.topo =
-          name == "arpanet" ? ChurnTopo::kArpanet : ChurnTopo::kWaxman;
+      SCMP_EXPECTS(name == "arpanet" || name == "waxman" ||
+                   name == "transit-stub");
+      trace.config.topo = name == "arpanet"      ? ChurnTopo::kArpanet
+                          : name == "transit-stub" ? ChurnTopo::kTransitStub
+                                                   : ChurnTopo::kWaxman;
     } else if (key == "topo-seed") {
       ls >> trace.config.topo_seed;
     } else if (key == "waxman-nodes") {
@@ -431,6 +524,8 @@ TraceArtifact deserialize(const std::string& text) {
       trace.config.fault = fault;
     } else if (key == "loss") {
       ls >> trace.config.control_loss_rate >> trace.config.loss_seed;
+    } else if (key == "epoch") {
+      ls >> trace.config.epoch_interval;
     } else if (key == "events") {
       // Count line; the per-event lines follow and carry their own tags.
     } else if (key == "join" || key == "leave" || key == "send") {

@@ -47,7 +47,7 @@ struct FaultSpec {
   bool operator==(const FaultSpec&) const = default;
 };
 
-enum class ChurnTopo { kArpanet, kWaxman };
+enum class ChurnTopo { kArpanet, kWaxman, kTransitStub };
 
 struct ChurnConfig {
   ChurnTopo topo = ChurnTopo::kArpanet;
@@ -68,6 +68,14 @@ struct ChurnConfig {
   /// exercising *recovery* instead of only proving invariants catch mutants.
   double control_loss_rate = 0.0;
   std::uint64_t loss_seed = 1;
+  /// Epoch-batched membership (Scmp::Config::epoch_interval). When > 0 the
+  /// replay additionally runs a *sequential shadow world* (identical config
+  /// with interval 0) through the same event sequence and checks the
+  /// batched-vs-sequential equivalence contract at every audit point: both
+  /// worlds must agree on database membership and tree member sets per
+  /// group, and the shadow world must pass the full invariant catalog too.
+  /// Divergence is reported as "epoch-equivalence" violations.
+  double epoch_interval = 0.0;
   /// Runtime-only knob (never serialized into trace artifacts): enable the
   /// per-group convergence tracker on each replay world and copy its stats
   /// into CheckOutcome::convergence. Tracking schedules only event-queue

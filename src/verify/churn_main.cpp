@@ -2,18 +2,23 @@
 // job runs it with fixed seeds and a short event budget; locally it scales
 // to the ISSUE's 50k-event acceptance runs.
 //
-//   scmp_churn_check [--topo=arpanet|waxman] [--topo-seed=N] [--nodes=N]
-//                    [--degree=D] [--groups=N] [--events=N] [--seeds=a,b,c]
-//                    [--audit-stride=N] [--max-link-failures=N]
-//                    [--fault=<packet-type>[:nth]] [--loss=RATE[:SEED]]
-//                    [--convergence] [--dump-dir=DIR] [--replay=TRACE]
-//                    [--no-shrink] [--verbose] [--metrics[=FILE]]
-//                    [--trace[=BASE]] [--timeseries[=FILE]]
-//                    [--timeseries-interval=S] [--flight[=BASE]]
+//   scmp_churn_check [--topo=arpanet|waxman|transit-stub] [--topo-seed=N]
+//                    [--nodes=N] [--degree=D] [--groups=N] [--events=N]
+//                    [--seeds=a,b,c] [--audit-stride=N]
+//                    [--max-link-failures=N] [--fault=<packet-type>[:nth]]
+//                    [--loss=RATE[:SEED]] [--epoch=SECONDS] [--convergence]
+//                    [--dump-dir=DIR] [--replay=TRACE] [--no-shrink]
+//                    [--verbose] [--metrics[=FILE]] [--trace[=BASE]]
+//                    [--timeseries[=FILE]] [--timeseries-interval=S]
+//                    [--flight[=BASE]]
 //
 // --loss drops every SCMP control packet (ACKs included) independently with
 // probability RATE, enabling the protocol's reliable-delivery layer and the
 // reconcile-before-audit loop — the ISSUE's lossy acceptance mode.
+//
+// --epoch enables epoch-batched membership with the given close interval and
+// makes every replay run the batched-vs-sequential differential check (see
+// ChurnConfig::epoch_interval).
 //
 // --convergence enables per-group time-to-convergence tracking (implied by
 // --loss); each seed then reports events/converged/timeouts and per-group
@@ -105,6 +110,8 @@ Options parse_args(int argc, char** argv) {
         opt.cfg.topo = ChurnTopo::kArpanet;
       } else if (v == "waxman") {
         opt.cfg.topo = ChurnTopo::kWaxman;
+      } else if (v == "transit-stub") {
+        opt.cfg.topo = ChurnTopo::kTransitStub;
       } else {
         std::fprintf(stderr, "unknown --topo=%s\n", v.c_str());
         opt.parse_ok = false;
@@ -134,6 +141,12 @@ Options parse_args(int argc, char** argv) {
         opt.cfg.loss_seed = std::stoull(v.substr(colon + 1));
       if (opt.cfg.control_loss_rate < 0.0 || opt.cfg.control_loss_rate >= 1.0) {
         std::fprintf(stderr, "--loss rate must be in [0, 1)\n");
+        opt.parse_ok = false;
+      }
+    } else if (consume(arg, "--epoch", v)) {
+      opt.cfg.epoch_interval = std::stod(v);
+      if (opt.cfg.epoch_interval < 0.0) {
+        std::fprintf(stderr, "--epoch interval must be >= 0\n");
         opt.parse_ok = false;
       }
     } else if (arg == "--convergence") {

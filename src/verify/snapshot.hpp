@@ -23,6 +23,8 @@ struct EntrySnapshot {
   graph::NodeId upstream = graph::kInvalidNode;
   std::set<graph::NodeId> downstream_routers;
   std::set<int> downstream_ifaces;
+
+  bool operator==(const EntrySnapshot&) const = default;
 };
 
 /// Everything the auditor needs to know about one group at one instant:
@@ -46,11 +48,15 @@ struct GroupSnapshot {
   std::map<graph::NodeId, double> admitted_bound;
 
   std::vector<EntrySnapshot> entries;  ///< installed i-router state
+
+  bool operator==(const GroupSnapshot&) const = default;
 };
 
 struct ScmpSnapshot {
   std::vector<graph::NodeId> mrouters;
   std::vector<GroupSnapshot> groups;
+
+  bool operator==(const ScmpSnapshot&) const = default;
 };
 
 /// Snapshot of one group: authoritative tree + memberships + entries.

@@ -1,0 +1,246 @@
+// Epoch-batched membership (Scmp::Config::epoch_interval) and the sharded
+// service database: the batched pipeline must be *equivalent* to per-request
+// processing — identical database membership and tree member sets at every
+// quiescent point, full invariant catalog clean in both worlds — and its
+// full distributed state must be bit-identical across database shard counts
+// and compute-pool thread counts at any fixed interval. Plus the ISSUE's
+// join-leave-burst regressions: a JOIN immediately followed by a LEAVE of
+// the same member must converge to the no-member fixpoint with no orphan
+// installed state on either path (per-request, and net-resolved at the
+// epoch close), and a lossy join storm must drain the retransmission table
+// back to zero.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/scmp.hpp"
+#include "helpers.hpp"
+#include "igmp/igmp.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "topo/workload.hpp"
+#include "util/rng.hpp"
+#include "verify/auditor.hpp"
+#include "verify/snapshot.hpp"
+
+namespace scmp::core {
+namespace {
+
+struct Fixture {
+  explicit Fixture(const graph::Graph& graph, Scmp::Config cfg = {})
+      : g(graph), net(g, queue), igmp(queue, g.num_nodes()) {
+    cfg.mrouter = 0;
+    scmp = std::make_unique<Scmp>(net, igmp, cfg);
+  }
+
+  void drain() { queue.run_all(); }
+
+  graph::Graph g;
+  sim::EventQueue queue;
+  sim::Network net;
+  igmp::IgmpDomain igmp;
+  std::unique_ptr<Scmp> scmp;
+};
+
+Scmp::Config config(double epoch_interval, int db_shards = 8) {
+  Scmp::Config cfg;
+  cfg.epoch_interval = epoch_interval;
+  cfg.db_shards = db_shards;
+  return cfg;
+}
+
+/// A deterministic churn stream chunked into bursts: every burst is applied
+/// without draining in between, so a batched world folds it into one epoch.
+std::vector<std::vector<topo::MemberEvent>> bursts(int num_routers,
+                                                   int num_events,
+                                                   int burst_size) {
+  topo::ZipfChurnConfig cfg;
+  cfg.num_groups = 5;
+  cfg.num_events = num_events;
+  cfg.horizon = 10.0;
+  cfg.leave_fraction = 0.4;
+  Rng rng(42);
+  const std::vector<topo::MemberEvent> events =
+      topo::zipf_churn(cfg, num_routers, rng);
+  std::vector<std::vector<topo::MemberEvent>> out;
+  for (std::size_t i = 0; i < events.size();
+       i += static_cast<std::size_t>(burst_size)) {
+    out.emplace_back(
+        events.begin() + static_cast<std::ptrdiff_t>(i),
+        events.begin() +
+            static_cast<std::ptrdiff_t>(
+                std::min(i + static_cast<std::size_t>(burst_size),
+                         events.size())));
+  }
+  return out;
+}
+
+void apply_burst(Fixture& f, const std::vector<topo::MemberEvent>& burst) {
+  for (const topo::MemberEvent& ev : burst) {
+    if (ev.join)
+      f.scmp->host_join(ev.router, ev.group, ev.iface, ev.host);
+    else
+      f.scmp->host_leave(ev.router, ev.group, ev.iface, ev.host);
+  }
+  f.drain();
+}
+
+std::vector<graph::NodeId> tree_members(const Scmp& scmp, GroupId group) {
+  const DcdmTree* tree = scmp.group_tree(group);
+  return tree == nullptr ? std::vector<graph::NodeId>{}
+                         : tree->tree().members();
+}
+
+void expect_no_violations(const Scmp& scmp, const char* what) {
+  const verify::InvariantAuditor auditor(scmp);
+  for (const verify::Violation& v : auditor.audit())
+    ADD_FAILURE() << what << ": " << v.invariant << ": " << v.detail;
+}
+
+// ---- equivalence property: batched vs sequential ---------------------------
+
+TEST(ScmpEpoch, BatchedMatchesSequentialAtEveryQuiescentPoint) {
+  const auto topo = test::random_topology(17, 30);
+  for (const double interval : {0.25, 1.0, 5.0}) {
+    Fixture batched(topo.graph, config(interval));
+    Fixture sequential(topo.graph, config(0.0));
+    int step = 0;
+    for (const auto& burst : bursts(topo.graph.num_nodes(), 160, 7)) {
+      apply_burst(batched, burst);
+      apply_burst(sequential, burst);
+      ++step;
+      EXPECT_EQ(batched.scmp->epoch_pending(), 0u);
+      std::set<GroupId> groups;
+      for (GroupId g : batched.scmp->active_groups()) groups.insert(g);
+      for (GroupId g : sequential.scmp->active_groups()) groups.insert(g);
+      for (GroupId g : groups) {
+        EXPECT_EQ(batched.scmp->database().members_of(g),
+                  sequential.scmp->database().members_of(g))
+            << "interval " << interval << " burst " << step << " group " << g;
+        EXPECT_EQ(tree_members(*batched.scmp, g),
+                  tree_members(*sequential.scmp, g))
+            << "interval " << interval << " burst " << step << " group " << g;
+      }
+    }
+    expect_no_violations(*batched.scmp, "batched");
+    expect_no_violations(*sequential.scmp, "sequential");
+  }
+}
+
+// ---- strict invariance: shards and pool threads are pure layout -----------
+
+TEST(ScmpEpoch, SnapshotBitIdenticalAcrossShardAndThreadCounts) {
+  const auto topo = test::random_topology(23, 30);
+  const auto all_bursts = bursts(topo.graph.num_nodes(), 120, 9);
+  constexpr double kInterval = 0.5;
+
+  auto run = [&](int shards, int threads) {
+    Fixture f(topo.graph, config(kInterval, shards));
+    std::unique_ptr<TreeComputePool> pool;
+    if (threads > 0) {
+      pool = std::make_unique<TreeComputePool>(f.net.graph(),
+                                               f.scmp->paths(), threads);
+      f.scmp->set_compute_pool(pool.get());
+    }
+    for (const auto& burst : all_bursts) apply_burst(f, burst);
+    return verify::take_snapshot(*f.scmp);
+  };
+
+  const verify::ScmpSnapshot reference = run(1, 0);
+  EXPECT_FALSE(reference.groups.empty());
+  for (const int shards : {4, 16}) {
+    EXPECT_TRUE(run(shards, 0) == reference) << "shards=" << shards;
+  }
+  EXPECT_TRUE(run(8, 2) == reference) << "pooled rebuilds diverged";
+  EXPECT_TRUE(run(8, 4) == reference) << "pooled rebuilds diverged";
+}
+
+// ---- join-leave burst regressions -----------------------------------------
+
+TEST(ScmpEpoch, JoinThenLeaveSameBurstConvergesToNoMemberFixpoint) {
+  // Per-request path: the LEAVE chases the JOIN through the m-router, so the
+  // tree is built and then torn down — no installed state may survive.
+  Fixture f(test::line(5), config(0.0));
+  f.scmp->host_join(3, 1);
+  f.scmp->host_leave(3, 1);
+  f.drain();
+  EXPECT_TRUE(f.scmp->database().members_of(1).empty());
+  EXPECT_TRUE(tree_members(*f.scmp, 1).empty());
+  const verify::GroupSnapshot snap = verify::take_group_snapshot(*f.scmp, 1);
+  EXPECT_TRUE(snap.entries.empty()) << "orphan installed state survived";
+  expect_no_violations(*f.scmp, "per-request join+leave");
+}
+
+TEST(ScmpEpoch, JoinThenLeaveSameEpochNetResolvesToNoOp) {
+  // Batched path: both requests land in one epoch; the close net-resolves
+  // them (members wanted == members on tree == none) and must not emit any
+  // install wave at all.
+  Fixture f(test::line(5), config(0.5));
+  f.scmp->host_join(3, 1);
+  f.scmp->host_leave(3, 1);
+  f.drain();
+  EXPECT_EQ(f.scmp->epoch_pending(), 0u);
+  EXPECT_TRUE(f.scmp->database().members_of(1).empty());
+  EXPECT_TRUE(tree_members(*f.scmp, 1).empty());
+  const verify::GroupSnapshot snap = verify::take_group_snapshot(*f.scmp, 1);
+  EXPECT_TRUE(snap.entries.empty()) << "net no-op still installed state";
+  expect_no_violations(*f.scmp, "batched join+leave");
+}
+
+TEST(ScmpEpoch, RuntimeIntervalChangeTakesEffect) {
+  Fixture f(test::line(6), config(0.0));
+  f.scmp->host_join(3, 1);
+  f.drain();
+  EXPECT_EQ(tree_members(*f.scmp, 1), (std::vector<graph::NodeId>{3}));
+
+  f.scmp->set_epoch_interval(100.0);
+  f.scmp->host_join(4, 1);
+  // Run far enough for the JOIN to reach the m-router but short of the
+  // epoch close: the request must sit deferred, not on the tree yet.
+  f.queue.run_until(f.queue.now() + 50.0);
+  EXPECT_EQ(f.scmp->epoch_pending(), 1u);
+  EXPECT_EQ(tree_members(*f.scmp, 1), (std::vector<graph::NodeId>{3}));
+  f.drain();  // runs the epoch close
+  EXPECT_EQ(f.scmp->epoch_pending(), 0u);
+  EXPECT_EQ(tree_members(*f.scmp, 1), (std::vector<graph::NodeId>{3, 4}));
+  expect_no_violations(*f.scmp, "runtime interval change");
+}
+
+// ---- retransmission-table high-water mark under a lossy join storm --------
+
+TEST(ScmpEpoch, RetxTableDrainsToZeroAfterLossyJoinStorm) {
+  Rng trng(5);
+  const auto topo = topo::waxman_with_degree(40, 3.0, trng);
+  Scmp::Config cfg = config(0.0);
+  cfg.reliability.enabled = true;
+  Fixture f(topo.graph, cfg);
+
+  // Seeded coin drops 30% of control packets at egress; retransmission and
+  // the reconciliation sweep must repair everything the storm lost.
+  auto loss_rng = std::make_shared<Rng>(99);
+  f.net.set_drop_filter(
+      [loss_rng](graph::NodeId, graph::NodeId, const sim::Packet&) {
+        return loss_rng->chance(0.3);
+      });
+
+  for (graph::NodeId r = 1; r <= 30; ++r)
+    f.scmp->host_join(r, /*group=*/1, /*iface=*/0, /*host=*/0);
+  f.drain();
+  EXPECT_GT(f.scmp->retx().pending_hwm(), 0u)
+      << "storm never grew the table — the regression guard is inert";
+
+  for (int pass = 0; pass < 64; ++pass) {
+    const int repairs = f.scmp->reconcile_all();
+    f.drain();
+    if (repairs == 0) break;
+  }
+  EXPECT_EQ(f.scmp->retx().pending_count(), 0u)
+      << "pending retransmissions leaked past reconciliation";
+  EXPECT_TRUE(f.scmp->network_state_consistent(1));
+  expect_no_violations(*f.scmp, "lossy join storm");
+}
+
+}  // namespace
+}  // namespace scmp::core

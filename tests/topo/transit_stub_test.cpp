@@ -1,0 +1,67 @@
+#include "topo/transit_stub.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace scmp::topo {
+namespace {
+
+/// Flattened edge list (u, v, delay, cost) in adjacency order — two graphs
+/// are identical iff these agree (undirected edges appear from both sides).
+std::vector<std::tuple<graph::NodeId, graph::NodeId, double, double>>
+edge_list(const graph::Graph& g) {
+  std::vector<std::tuple<graph::NodeId, graph::NodeId, double, double>> out;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const auto& nb : g.neighbors(u))
+      out.emplace_back(u, nb.to, nb.attr.delay, nb.attr.cost);
+  }
+  return out;
+}
+
+TEST(TransitStub, ProducesConfiguredNodeCount) {
+  TransitStubConfig cfg;  // 2x4 transit, 2x4 stubs per transit node
+  Rng rng(1);
+  const Topology t = transit_stub(cfg, rng);
+  EXPECT_EQ(num_transit_nodes(cfg), 8);
+  EXPECT_EQ(num_stub_nodes(cfg), 64);
+  EXPECT_EQ(t.graph.num_nodes(), total_nodes(cfg));
+  EXPECT_EQ(t.coords.size(), static_cast<std::size_t>(total_nodes(cfg)));
+}
+
+TEST(TransitStub, AlwaysConnected) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    TransitStubConfig cfg;
+    cfg.transit_edge_prob = 0.1;  // sparse: forces every repair path
+    cfg.stub_edge_prob = 0.05;
+    Rng rng(seed);
+    const Topology t = transit_stub(cfg, rng);
+    EXPECT_TRUE(t.graph.is_connected()) << "seed " << seed;
+  }
+}
+
+TEST(TransitStub, DeterministicForAGivenSeed) {
+  TransitStubConfig cfg;
+  cfg.transit_domains = 3;
+  Rng a(77), b(77), c(78);
+  const Topology ta = transit_stub(cfg, a);
+  const Topology tb = transit_stub(cfg, b);
+  const Topology tc = transit_stub(cfg, c);
+  EXPECT_EQ(edge_list(ta.graph), edge_list(tb.graph));
+  EXPECT_NE(edge_list(ta.graph), edge_list(tc.graph));
+  EXPECT_EQ(ta.name, tb.name);
+}
+
+TEST(TransitStub, EdgeWeightsFollowTheWaxmanModel) {
+  TransitStubConfig cfg;
+  Rng rng(9);
+  const Topology t = transit_stub(cfg, rng);
+  for (const auto& [u, v, delay, cost] : edge_list(t.graph)) {
+    EXPECT_GE(cost, 1.0) << u << "-" << v;
+    EXPECT_GE(delay, 0.0) << u << "-" << v;
+    EXPECT_LE(delay, cost) << u << "-" << v;
+  }
+}
+
+}  // namespace
+}  // namespace scmp::topo

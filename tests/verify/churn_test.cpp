@@ -39,6 +39,44 @@ TEST(Churn, CleanRunOnWaxman) {
   EXPECT_TRUE(outcome.ok) << format(outcome.violations);
 }
 
+TEST(Churn, CleanRunOnTransitStub) {
+  ChurnConfig cfg;
+  cfg.topo = ChurnTopo::kTransitStub;
+  cfg.num_events = 300;
+  cfg.event_seed = 13;
+  const ChurnModelChecker checker(cfg);
+  const CheckOutcome outcome = checker.run();
+  EXPECT_TRUE(outcome.ok) << format(outcome.violations);
+  EXPECT_GT(outcome.executed, 0);
+}
+
+TEST(Churn, EpochBatchedRunPassesTheEquivalenceCheck) {
+  // epoch_interval > 0 drags the sequential shadow world along and audits
+  // the batched-vs-sequential equivalence contract at every stride.
+  ChurnConfig cfg;
+  cfg.topo = ChurnTopo::kArpanet;
+  cfg.num_events = 250;
+  cfg.event_seed = 14;
+  cfg.epoch_interval = 0.5;
+  cfg.audit_stride = 5;
+  const ChurnModelChecker checker(cfg);
+  const CheckOutcome outcome = checker.run();
+  EXPECT_TRUE(outcome.ok) << format(outcome.violations);
+}
+
+TEST(Churn, EpochBatchedLossyRunStillConverges) {
+  ChurnConfig cfg;
+  cfg.topo = ChurnTopo::kTransitStub;
+  cfg.num_events = 120;
+  cfg.event_seed = 15;
+  cfg.epoch_interval = 1.0;
+  cfg.control_loss_rate = 0.05;
+  cfg.audit_stride = 10;
+  const ChurnModelChecker checker(cfg);
+  const CheckOutcome outcome = checker.run();
+  EXPECT_TRUE(outcome.ok) << format(outcome.violations);
+}
+
 TEST(Churn, AuditStrideStillAuditsTheEnd) {
   ChurnConfig cfg;
   cfg.num_events = 97;  // not a multiple of the stride
@@ -105,6 +143,7 @@ TEST(Trace, SerializeDeserializeRoundTrip) {
   trace.config.fault = FaultSpec{sim::PacketType::kClear, 2};
   trace.config.control_loss_rate = 0.05;
   trace.config.loss_seed = 11;
+  trace.config.epoch_interval = 0.75;
   trace.events = {
       {ChurnEventType::kJoin, 0, 7, graph::kInvalidNode},
       {ChurnEventType::kSend, 1, 3, graph::kInvalidNode},
@@ -126,10 +165,20 @@ TEST(Trace, SerializeDeserializeRoundTrip) {
   EXPECT_DOUBLE_EQ(back.config.control_loss_rate,
                    trace.config.control_loss_rate);
   EXPECT_EQ(back.config.loss_seed, trace.config.loss_seed);
+  EXPECT_DOUBLE_EQ(back.config.epoch_interval, trace.config.epoch_interval);
   EXPECT_EQ(back.events, trace.events);
   ASSERT_EQ(back.violations.size(), 1u);
   EXPECT_EQ(back.violations[0].invariant, trace.violations[0].invariant);
   EXPECT_EQ(back.violations[0].detail, trace.violations[0].detail);
+}
+
+TEST(Trace, TransitStubTopoNameRoundTrips) {
+  TraceArtifact trace;
+  trace.config.topo = ChurnTopo::kTransitStub;
+  trace.config.topo_seed = 4;
+  const std::string text = serialize(trace);
+  EXPECT_NE(text.find("topo transit-stub"), std::string::npos);
+  EXPECT_EQ(deserialize(text).config.topo, ChurnTopo::kTransitStub);
 }
 
 TEST(Trace, FileRoundTripReplaysIdentically) {

@@ -65,8 +65,8 @@ import sys
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 from lint import strip_comments_and_strings  # noqa: E402
 
-DEFAULT_SCAN_DIRS = ("src/core", "src/graph", "src/sim", "src/protocols",
-                     "src/verify")
+DEFAULT_SCAN_DIRS = ("src/core", "src/graph", "src/sim", "src/topo",
+                     "src/protocols", "src/verify")
 DEFAULT_MANIFEST = "tools/determinism_manifest.json"
 
 RULES = ("unordered-iteration", "pointer-key", "wall-clock", "thread-count",
